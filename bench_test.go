@@ -1,0 +1,305 @@
+package amdgpubench_test
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper. Each benchmark regenerates its experiment end to end — kernel
+// generation, IL->ISA compilation, cache trace replay, timing simulation —
+// and reports, beyond Go's ns/op, the experiment's headline quantity as a
+// custom metric (plateau seconds, crossover ratio, slope, speedup), so a
+// `go test -bench .` run doubles as a reproduction summary.
+
+import (
+	"math"
+	"testing"
+
+	"amdgpubench/internal/core"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/report"
+)
+
+// newSuite uses the paper's 5000 kernel iterations (the default), so the
+// reported custom metrics are on the same scale as the paper's figures.
+// The iteration count only scales the simulated seconds, not the wall
+// time of the benchmark itself.
+func newSuite() *core.Suite {
+	return core.NewSuite()
+}
+
+func firstY(fig *report.Figure, label string) float64 {
+	for _, s := range fig.Series {
+		if s.Label == label && len(s.Points) > 0 {
+			return s.Points[0].Y
+		}
+	}
+	return math.NaN()
+}
+
+func BenchmarkTable1HardwareQuery(b *testing.B) {
+	s := newSuite()
+	for i := 0; i < b.N; i++ {
+		if tbl := s.HardwareTable(); len(tbl.Rows) != 3 {
+			b.Fatal("Table I must list three GPUs")
+		}
+	}
+}
+
+func BenchmarkFig2Disassembly(b *testing.B) {
+	spec := device.Lookup(device.RV770)
+	k, err := kerngen.Generic(kerngen.Params{
+		Mode: il.Pixel, Type: il.Float4, Inputs: 3, Outputs: 1, ALUOps: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := ilc.Compile(k, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if p.GPRCount != 3 {
+			b.Fatalf("Fig. 2 kernel GPRs = %d, want 3", p.GPRCount)
+		}
+	}
+}
+
+func BenchmarkFig7ALUFetch(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig7()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(core.CrossoverOf(fig, "4870 Pixel Float"), "crossover-4870-float")
+	b.ReportMetric(core.CrossoverOf(fig, "4870 Pixel Float4"), "crossover-4870-float4")
+}
+
+func BenchmarkFig8ALUFetchBlock4x16(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig8()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(firstY(fig, "5870 Compute Float4"), "plateau-5870-float4-s")
+}
+
+func BenchmarkFig9GlobalReadStreamWrite(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(firstY(fig, "3870 Pixel Float"), "plateau-3870-float-s")
+}
+
+func BenchmarkFig10GlobalReadGlobalWrite(b *testing.B) {
+	s := newSuite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11TextureFetchLatency(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range fig.Series {
+		if sr.Label == "4870 Pixel Float" {
+			slope, _, _ := report.LinearFit(sr)
+			b.ReportMetric(slope, "slope-4870-float-s/input")
+		}
+	}
+}
+
+func BenchmarkFig12GlobalReadLatency(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range fig.Series {
+		if sr.Label == "3870 Pixel Float" {
+			slope, _, _ := report.LinearFit(sr)
+			b.ReportMetric(slope, "slope-3870-float-s/input")
+		}
+	}
+}
+
+func BenchmarkFig13StreamingStore(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range fig.Series {
+		if sr.Label == "4870 Pixel Float" {
+			slope, _, _ := report.LinearFit(sr)
+			b.ReportMetric(slope, "slope-4870-float-s/output")
+		}
+	}
+}
+
+func BenchmarkFig14GlobalWrite(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var slopeF, slopeF4 float64
+	for _, sr := range fig.Series {
+		slope, _, _ := report.LinearFit(sr)
+		switch sr.Label {
+		case "4870 Pixel Float":
+			slopeF = slope
+		case "4870 Pixel Float4":
+			slopeF4 = slope
+		}
+	}
+	if slopeF > 0 {
+		b.ReportMetric(slopeF4/slopeF, "float4/float-slope-ratio")
+	}
+}
+
+func BenchmarkFig15DomainSize(b *testing.B) {
+	s := newSuite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Fig15Pixel(); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := s.Fig15Compute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig16RegisterUsage(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range fig.Series {
+		if sr.Label == "4870 Pixel Float" && len(sr.Points) > 1 {
+			speedup := sr.Points[0].Y / sr.Points[len(sr.Points)-1].Y
+			b.ReportMetric(speedup, "speedup-4870-float")
+		}
+	}
+}
+
+func BenchmarkFig17RegisterUsage4x16(b *testing.B) {
+	s := newSuite()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Fig17(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClauseUsageControl(b *testing.B) {
+	s := newSuite()
+	for i := 0; i < b.N; i++ {
+		_, runs, err := s.ClauseControl()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(runs) == 0 {
+			b.Fatal("control produced no runs")
+		}
+	}
+}
+
+func BenchmarkExtTransThroughput(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.TransThroughput(core.TransThroughputConfig{Arch: device.RV770})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var add, rcp float64
+	for _, sr := range fig.Series {
+		n := len(sr.Points)
+		switch sr.Label {
+		case "4870 float4 add":
+			add = sr.Points[n-1].Y
+		case "4870 float4 rcp/rsq":
+			rcp = sr.Points[n-1].Y
+		}
+	}
+	if add > 0 {
+		b.ReportMetric(rcp/add, "float4-trans/add-ratio")
+	}
+}
+
+func BenchmarkExtBlockSizeSweep(b *testing.B) {
+	s := newSuite()
+	var fig *report.Figure
+	for i := 0; i < b.N; i++ {
+		var err error
+		fig, _, err = s.BlockSizeSweep(core.BlockSizeConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, sr := range fig.Series {
+		if sr.Label == "4870 Compute Float" {
+			b.ReportMetric(sr.Points[0].Y/sr.Points[3].Y, "64x1/8x8-speedup")
+		}
+	}
+}
+
+func BenchmarkExtAblationStudy(b *testing.B) {
+	s := newSuite()
+	var res []core.AblationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = s.AblationStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range res {
+		if r.Name == "clause switching (latency hiding)" {
+			b.ReportMetric(r.Ratio(), "latency-hiding-slowdown")
+		}
+	}
+}

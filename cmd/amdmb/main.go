@@ -1,0 +1,212 @@
+// Command amdmb runs the AMD GPU micro-benchmark suite on the simulated
+// RV670/RV770/RV870 devices and regenerates every table and figure of the
+// paper "A Micro-benchmark Suite for AMD GPUs" (Taylor & Li, ICPPW 2010).
+//
+// Usage:
+//
+//	amdmb [flags] <experiment>...
+//
+// Experiments: table1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
+// fig15a fig15b fig16 fig17 clausectl trans blocks consts summary ablate
+// all
+//
+// Flags:
+//
+//	-csv        emit CSV instead of ASCII plots
+//	-iters N    kernel iterations per timing (default 5000, the paper's)
+//	-runs       also print per-point run details (GPRs, waves, bottleneck)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"amdgpubench/internal/core"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/isa"
+	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/report"
+)
+
+var (
+	csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
+	iters    = flag.Int("iters", 0, "kernel iterations per timing (default 5000)")
+	showRuns = flag.Bool("runs", false, "print per-point run details")
+	outDir   = flag.String("o", "", "also write <dir>/<figure>.csv and a matching gnuplot script")
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(s *core.Suite) error
+}
+
+func figExperiment(name, desc string, f func(s *core.Suite) (*report.Figure, []core.Run, error)) experiment {
+	return experiment{name: name, desc: desc, run: func(s *core.Suite) error {
+		fig, runs, err := f(s)
+		if err != nil {
+			return err
+		}
+		emitFigure(fig)
+		if *showRuns {
+			emitRuns(runs)
+		}
+		return nil
+	}}
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{"table1", "GPU hardware features", func(s *core.Suite) error {
+			fmt.Println(s.HardwareTable().Format())
+			return nil
+		}},
+		{"fig2", "example ISA disassembly", func(s *core.Suite) error {
+			return printFig2()
+		}},
+		figExperiment("fig7", "ALU:Fetch ratio, texture reads", (*core.Suite).Fig7),
+		figExperiment("fig8", "ALU:Fetch ratio, 4x16 block", (*core.Suite).Fig8),
+		figExperiment("fig9", "ALU:Fetch ratio, global read + stream write", (*core.Suite).Fig9),
+		figExperiment("fig10", "ALU:Fetch ratio, global read + global write", (*core.Suite).Fig10),
+		figExperiment("fig11", "texture fetch latency", (*core.Suite).Fig11),
+		figExperiment("fig12", "global read latency", (*core.Suite).Fig12),
+		figExperiment("fig13", "streaming store latency", (*core.Suite).Fig13),
+		figExperiment("fig14", "global write latency", (*core.Suite).Fig14),
+		figExperiment("fig15a", "domain size, pixel shader", (*core.Suite).Fig15Pixel),
+		figExperiment("fig15b", "domain size, compute shader", (*core.Suite).Fig15Compute),
+		figExperiment("fig16", "register pressure", (*core.Suite).Fig16),
+		figExperiment("fig17", "register pressure, 4x16 block", (*core.Suite).Fig17),
+		figExperiment("clausectl", "clause usage control (flat)", (*core.Suite).ClauseControl),
+		figExperiment("trans", "extension: transcendental vs basic ALU chains", func(s *core.Suite) (*report.Figure, []core.Run, error) {
+			return s.TransThroughput(core.TransThroughputConfig{Arch: device.RV770})
+		}),
+		figExperiment("blocks", "extension: compute block-size sweep", func(s *core.Suite) (*report.Figure, []core.Run, error) {
+			return s.BlockSizeSweep(core.BlockSizeConfig{})
+		}),
+		figExperiment("consts", "extension: constant count sweep (flat)", func(s *core.Suite) (*report.Figure, []core.Run, error) {
+			return s.ConstantsSweep(core.ConstantsConfig{Arch: device.RV770})
+		}),
+		{"summary", "one-screen paper-vs-measured reproduction digest", runSummary},
+		{"ablate", "extension: hardware-mechanism ablation study", func(s *core.Suite) error {
+			res, err := s.AblationStudy()
+			if err != nil {
+				return err
+			}
+			fmt.Println(core.AblationTable(res).Format())
+			return nil
+		}},
+	}
+}
+
+func emitFigure(fig *report.Figure) {
+	if *csvOut {
+		fmt.Print(fig.CSV())
+	} else {
+		fmt.Print(fig.ASCIIPlot(72, 20))
+	}
+	fmt.Println()
+	if *outDir != "" {
+		if err := writeFigureFiles(fig, *outDir); err != nil {
+			fmt.Fprintf(os.Stderr, "amdmb: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeFigureFiles saves the figure's CSV and a gnuplot script that plots
+// it, mirroring how the paper's figures were produced.
+func writeFigureFiles(fig *report.Figure, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	csvName := fig.ID + ".csv"
+	if err := os.WriteFile(filepath.Join(dir, csvName), []byte(fig.CSV()), 0o644); err != nil {
+		return err
+	}
+	gp := fig.GnuplotScript(csvName)
+	return os.WriteFile(filepath.Join(dir, fig.ID+".gp"), []byte(gp), 0o644)
+}
+
+func emitRuns(runs []core.Run) {
+	t := &report.Table{
+		Header: []string{"series", "x", "seconds", "GPRs", "waves", "hit", "bottleneck"},
+	}
+	for _, r := range runs {
+		t.AddRow(r.Card.Label(), fmt.Sprintf("%g", r.X), fmt.Sprintf("%.3f", r.Seconds),
+			fmt.Sprintf("%d", r.GPRs), fmt.Sprintf("%d", r.Waves),
+			fmt.Sprintf("%.3f", r.HitRate), r.Bottleneck)
+	}
+	fmt.Println(t.Format())
+}
+
+// printFig2 reproduces the paper's example disassembly: a three-input
+// pixel-shader float4 kernel.
+func printFig2() error {
+	k, err := kerngen.Generic(kerngen.Params{
+		Name: "fig2", Mode: il.Pixel, Type: il.Float4,
+		Inputs: 3, Outputs: 1, ALUOps: 3,
+	})
+	if err != nil {
+		return err
+	}
+	prog, err := ilc.Compile(k, device.Lookup(device.RV770))
+	if err != nil {
+		return err
+	}
+	fmt.Print(isa.Disassemble(prog))
+	st := prog.Stats()
+	fmt.Printf("; GPRs=%d ALU bundles=%d fetches=%d SKA ALU:Fetch=%.2f\n",
+		st.GPRs, st.ALUBundles, st.FetchOps, st.ALUFetchSKA)
+	return nil
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	exps := experiments()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: amdmb [flags] <experiment>...")
+		fmt.Fprintln(os.Stderr, "experiments:")
+		for _, e := range exps {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintln(os.Stderr, "  all        run everything")
+		os.Exit(2)
+	}
+
+	byName := map[string]experiment{}
+	var order []string
+	for _, e := range exps {
+		byName[e.name] = e
+		order = append(order, e.name)
+	}
+
+	var selected []string
+	for _, a := range args {
+		if a == "all" {
+			selected = order
+			break
+		}
+		if _, ok := byName[strings.ToLower(a)]; !ok {
+			fmt.Fprintf(os.Stderr, "amdmb: unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		selected = append(selected, strings.ToLower(a))
+	}
+	sort.Strings(selected)
+
+	s := core.NewSuite()
+	s.Iterations = *iters
+	for _, name := range selected {
+		if err := byName[name].run(s); err != nil {
+			fmt.Fprintf(os.Stderr, "amdmb: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command ilas is the IL assembler/disassembler round-trip tool: it reads
+// IL assembly from a file (or stdin), validates it, and either re-emits
+// canonical IL or compiles it to ISA for a chosen GPU and prints the
+// disassembly.
+//
+// Usage:
+//
+//	ilas [-arch RV670|RV770|RV870] [-isa] [file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/isa"
+)
+
+var (
+	archName = flag.String("arch", "RV770", "target GPU: RV670, RV770 or RV870")
+	emitISA  = flag.Bool("isa", false, "compile to ISA and disassemble")
+)
+
+func parseArch(name string) (device.Arch, error) {
+	switch strings.ToUpper(name) {
+	case "RV670", "3870":
+		return device.RV670, nil
+	case "RV770", "4870":
+		return device.RV770, nil
+	case "RV870", "5870":
+		return device.RV870, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q", name)
+}
+
+func main() {
+	flag.Parse()
+	var src []byte
+	var err error
+	if flag.NArg() > 0 {
+		src, err = os.ReadFile(flag.Arg(0))
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
+		os.Exit(1)
+	}
+	k, err := il.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
+		os.Exit(1)
+	}
+	if err := k.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
+		os.Exit(1)
+	}
+	if !*emitISA {
+		fmt.Print(il.Assemble(k))
+		return
+	}
+	arch, err := parseArch(*archName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := ilc.Compile(k, device.Lookup(arch))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(isa.Disassemble(prog))
+}

@@ -1,0 +1,102 @@
+// Command ska is a StreamKernelAnalyzer-style static analysis tool: it
+// generates a micro-benchmark kernel from parameters, compiles it for each
+// GPU generation, and reports the static properties the paper's
+// methodology depends on — GPR count, clause structure, packing density
+// and the ALU:Fetch ratio in the SKA's 4-ops-per-fetch convention.
+//
+// Usage:
+//
+//	ska [-inputs N] [-outputs N] [-ratio R] [-float4] [-compute]
+//	    [-space N -step N] [-disasm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/isa"
+	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/report"
+)
+
+var (
+	inputs  = flag.Int("inputs", 8, "number of input resources")
+	outputs = flag.Int("outputs", 1, "number of outputs")
+	ratio   = flag.Float64("ratio", 1.0, "ALU:Fetch ratio (SKA convention)")
+	float4  = flag.Bool("float4", false, "use float4 data")
+	compute = flag.Bool("compute", false, "compute shader mode")
+	space   = flag.Int("space", 0, "register-usage kernel: fetches per late TEX clause")
+	step    = flag.Int("step", 0, "register-usage kernel: number of late TEX clauses")
+	disasm  = flag.Bool("disasm", false, "print ISA disassembly (RV770)")
+)
+
+func main() {
+	flag.Parse()
+	p := kerngen.Params{
+		Mode: il.Pixel, Type: il.Float,
+		Inputs: *inputs, Outputs: *outputs,
+		ALUFetchRatio: *ratio,
+		Space:         *space, Step: *step,
+	}
+	if *float4 {
+		p.Type = il.Float4
+	}
+	if *compute {
+		p.Mode = il.Compute
+		p.OutSpace = il.GlobalSpace
+	}
+	var (
+		k   *il.Kernel
+		err error
+	)
+	if *space > 0 {
+		k, err = kerngen.RegisterUsage(p)
+	} else {
+		k, err = kerngen.ALUFetch(p)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ska: %v\n", err)
+		os.Exit(1)
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("Kernel %q (%s, %s): static analysis", k.Name, k.Mode, k.Type),
+		Header: []string{"GPU", "GPRs", "Waves/SIMD", "ALU bundles", "Fetches", "ALU clauses", "TEX clauses", "Packing", "ALU:Fetch"},
+	}
+	for _, spec := range device.All() {
+		if k.Mode == il.Compute && !spec.SupportsCompute {
+			continue
+		}
+		prog, err := ilc.Compile(k, spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ska: %s: %v\n", spec.Arch, err)
+			os.Exit(1)
+		}
+		st := prog.Stats()
+		t.AddRow(
+			spec.Arch.String(),
+			fmt.Sprintf("%d", st.GPRs),
+			fmt.Sprintf("%d", spec.WavefrontsForGPRs(st.GPRs)),
+			fmt.Sprintf("%d", st.ALUBundles),
+			fmt.Sprintf("%d", st.FetchOps),
+			fmt.Sprintf("%d", st.ALUClauses),
+			fmt.Sprintf("%d", st.TEXClauses),
+			fmt.Sprintf("%.2f", st.ALUPacking),
+			fmt.Sprintf("%.2f", st.ALUFetchSKA),
+		)
+	}
+	fmt.Print(t.Format())
+	if *disasm {
+		prog, err := ilc.Compile(k, device.Lookup(device.RV770))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ska: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(isa.Disassemble(prog))
+	}
+}

@@ -1,0 +1,26 @@
+// Package amdgpubench is a from-scratch Go reproduction of "A
+// Micro-benchmark Suite for AMD GPUs" (Ryan Taylor and Xiaoming Li, ICPP
+// Workshops 2010). The original suite measured hidden architectural
+// parameters of the RV670/RV770/RV870 GPUs through AMD's StreamSDK; since
+// both the hardware and the SDK are long obsolete, this repository rebuilds
+// the whole stack as a simulator and runs the paper's experiments on it:
+//
+//   - internal/il       AMD IL kernel language (the suite's kernels are generated IL)
+//   - internal/ilc      IL -> R700-style ISA compiler (clauses, VLIW packing, registers)
+//   - internal/isa      ISA clause/bundle representation and disassembler
+//   - internal/interp   reference interpreters proving compiler correctness
+//   - internal/device   RV670 / RV770 / RV870 parameter tables (paper Table I)
+//   - internal/raster   pixel-mode tiled walk and compute-mode block walks
+//   - internal/cache    trace-driven texture L1 model with DRAM row accounting
+//   - internal/mem      resource pipes and the DRAM cost model
+//   - internal/sim      event-driven wavefront/clause timing simulator
+//   - internal/cal      CAL-like runtime API (devices, contexts, modules, resources)
+//   - internal/kerngen  the paper's kernel generators (Figs. 3, 5, 6)
+//   - internal/core     the micro-benchmark suite: one benchmark per paper experiment
+//   - internal/report   figures, tables, ASCII plots and CSV output
+//
+// The cmd/amdmb tool regenerates every table and figure of the paper;
+// bench_test.go exposes each experiment as a Go benchmark. See DESIGN.md
+// for the substitution map and EXPERIMENTS.md for paper-versus-measured
+// comparisons.
+package amdgpubench

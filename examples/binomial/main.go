@@ -1,0 +1,114 @@
+// Binomial: the paper notes (Section IV-A) that the StreamSDK's Binomial
+// Option Pricing sample has several ALU-bound kernels, and argues that an
+// ALU-bound kernel has free capacity on the fetch and memory paths: low
+// arithmetic-intensity work can be merged in without increasing execution
+// time, improving whole-GPU utilization.
+//
+// This example builds a binomial-lattice-shaped kernel (a deep dependent
+// chain of multiply-add steps over a handful of market inputs), confirms
+// the suite classifies it as ALU bound, then demonstrates the paper's
+// "kernel merging" observation: doubling the number of fetched inputs
+// barely moves the execution time — until the added fetch traffic finally
+// flips the bottleneck.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amdgpubench/internal/cal"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/raster"
+	"amdgpubench/internal/report"
+)
+
+// binomialKernel: `inputs` market-parameter textures (spot, strike, rate,
+// volatility, ...) feed `steps` dependent lattice steps, each a mul and an
+// add on the running value — the backward-induction recurrence's shape.
+func binomialKernel(inputs, steps int) (*il.Kernel, error) {
+	k := &il.Kernel{
+		Name: fmt.Sprintf("binomial_i%d_s%d", inputs, steps),
+		Mode: il.Pixel, Type: il.Float,
+		NumInputs: inputs, NumOutputs: 1,
+	}
+	r := il.Reg(0)
+	for i := 0; i < inputs; i++ {
+		k.Code = append(k.Code, il.Instr{Op: il.OpSample, Dst: r, SrcA: il.NoReg, SrcB: il.NoReg, Res: i})
+		r++
+	}
+	// Fold the market inputs into an initial lattice value.
+	acc := il.Reg(0)
+	for i := 1; i < inputs; i++ {
+		k.Code = append(k.Code, il.Instr{Op: il.OpAdd, Dst: r, SrcA: acc, SrcB: il.Reg(i), Res: -1})
+		acc = r
+		r++
+	}
+	up := il.Reg(0) // stands in for the up-factor operand
+	for s := 0; s < steps; s++ {
+		k.Code = append(k.Code, il.Instr{Op: il.OpMul, Dst: r, SrcA: acc, SrcB: up, Res: -1})
+		prod := r
+		r++
+		k.Code = append(k.Code, il.Instr{Op: il.OpAdd, Dst: r, SrcA: prod, SrcB: acc, Res: -1})
+		acc = r
+		r++
+	}
+	k.Code = append(k.Code, il.Instr{Op: il.OpExport, Dst: il.NoReg, SrcA: acc, SrcB: il.NoReg, Res: 0})
+	return k, k.Validate()
+}
+
+func main() {
+	dev, err := cal.OpenDevice(device.RV770)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := dev.CreateContext()
+
+	t := &report.Table{
+		Title:  "Binomial option pricing microkernel on the simulated HD 4870",
+		Header: []string{"inputs", "lattice steps", "seconds", "bottleneck", "GPRs", "waves/SIMD"},
+	}
+
+	run := func(inputs, steps int) *cal.Event {
+		k, err := binomialKernel(inputs, steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := ctx.LoadModule(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ev, err := ctx.Launch(m, cal.LaunchConfig{Order: raster.PixelOrder(), W: 1024, H: 1024})
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(fmt.Sprintf("%d", inputs), fmt.Sprintf("%d", steps),
+			fmt.Sprintf("%.3f", ev.ElapsedSeconds()), ev.Bottleneck().String(),
+			fmt.Sprintf("%d", ev.Result.GPRs), fmt.Sprintf("%d", ev.Result.WavesPerSIMD))
+		return ev
+	}
+
+	// The pricing kernel proper: 4 market inputs, a 256-step lattice.
+	base := run(4, 256)
+	if base.Bottleneck().String() != "ALU" {
+		log.Fatalf("expected the binomial kernel to be ALU bound, got %s", base.Bottleneck())
+	}
+
+	// The paper's merging argument: fetch-light work rides along free.
+	with8 := run(8, 256)
+	with16 := run(16, 256)
+	with64 := run(64, 256)
+
+	fmt.Print(t.Format())
+	fmt.Println()
+	over8 := (with8.ElapsedSeconds() - base.ElapsedSeconds()) / base.ElapsedSeconds() * 100
+	over16 := (with16.ElapsedSeconds() - base.ElapsedSeconds()) / base.ElapsedSeconds() * 100
+	over64 := (with64.ElapsedSeconds() - base.ElapsedSeconds()) / base.ElapsedSeconds() * 100
+	fmt.Printf("ALU bound at 4 inputs: merging in 4 more fetches costs %.1f%%, 12 more %.1f%% —\n", over8, over16)
+	fmt.Printf("the fetch units were idle, as the paper's Section IV-A argues.\n")
+	fmt.Printf("At 64 inputs the cost jumps %.1f%%: the input registers cut occupancy from %d\n",
+		over64, base.Result.WavesPerSIMD)
+	fmt.Printf("to %d wavefronts/SIMD, and latency hiding collapses — the register-pressure\n",
+		with64.Result.WavesPerSIMD)
+	fmt.Printf("effect the suite's Fig. 16 benchmark measures directly.\n")
+}

@@ -1,0 +1,3 @@
+module amdgpubench
+
+go 1.22

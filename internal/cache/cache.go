@@ -1,0 +1,121 @@
+// Package cache implements the per-SIMD texture L1 cache model: a
+// set-associative, LRU-replacement cache replayed against fetch address
+// traces. The micro-benchmarks' pixel-versus-compute and block-size
+// effects (Figs. 7, 8, 16, 17 of the paper) are emergent properties of
+// replaying the raster orders' address streams — interleaved across the
+// resident wavefronts the way the SIMD's clause switching interleaves them
+// — through this model.
+package cache
+
+import "fmt"
+
+type line struct {
+	tag   uint64
+	valid bool
+	// lastUse is a logical timestamp for LRU replacement.
+	lastUse uint64
+}
+
+// Cache is a set-associative LRU cache.
+type Cache struct {
+	lineBytes int
+	ways      int
+	sets      int
+	lines     []line // sets * ways, set-major
+	clock     uint64
+
+	hits, misses uint64
+}
+
+// New builds a cache of totalBytes capacity with the given line size and
+// associativity. Geometry must tile exactly.
+func New(totalBytes, lineBytes, ways int) (*Cache, error) {
+	if totalBytes <= 0 || lineBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %d/%d/%d", totalBytes, lineBytes, ways)
+	}
+	if totalBytes%(lineBytes*ways) != 0 {
+		return nil, fmt.Errorf("cache: %dB does not tile into %dB lines x %d ways", totalBytes, lineBytes, ways)
+	}
+	sets := totalBytes / (lineBytes * ways)
+	return &Cache{
+		lineBytes: lineBytes,
+		ways:      ways,
+		sets:      sets,
+		lines:     make([]line, sets*ways),
+	}, nil
+}
+
+// Access touches one byte address and reports whether it hit. A miss
+// installs the line, evicting the set's LRU way.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	lineAddr := addr / uint64(c.lineBytes)
+	set := int(lineAddr % uint64(c.sets))
+	base := set * c.ways
+	victim := base
+	for i := base; i < base+c.ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.tag == lineAddr {
+			l.lastUse = c.clock
+			c.hits++
+			return true
+		}
+		if !l.valid {
+			victim = i
+		} else if c.lines[victim].valid && l.lastUse < c.lines[victim].lastUse {
+			victim = i
+		}
+	}
+	c.misses++
+	c.lines[victim] = line{tag: lineAddr, valid: true, lastUse: c.clock}
+	return false
+}
+
+// AccessRange touches every line overlapped by [addr, addr+size) and
+// returns how many of those line touches hit and missed. A float4 fetch
+// whose 16 bytes straddle a line boundary costs two line lookups, like the
+// hardware's dual-line fetch path.
+func (c *Cache) AccessRange(addr uint64, size int) (hits, misses int) {
+	if size <= 0 {
+		return 0, 0
+	}
+	first := addr / uint64(c.lineBytes)
+	last := (addr + uint64(size) - 1) / uint64(c.lineBytes)
+	for l := first; l <= last; l++ {
+		if c.Access(l * uint64(c.lineBytes)) {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	return hits, misses
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// HitRate returns hits / accesses, or 0 for an untouched cache.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.clock, c.hits, c.misses = 0, 0, 0
+}
+
+// LineBytes returns the configured line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }

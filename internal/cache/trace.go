@@ -1,0 +1,191 @@
+package cache
+
+import (
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/raster"
+)
+
+// TraceConfig describes the fetch stream of one resident wavefront set on
+// one SIMD engine.
+type TraceConfig struct {
+	Spec device.Spec
+	// Order is the domain walk (pixel tiles or a compute block shape).
+	Order raster.Order
+	// W, H is the execution domain.
+	W, H int
+	// ElemBytes is the fetch size per thread (4 for float, 16 for float4).
+	ElemBytes int
+	// NumInputs is the number of input textures, each its own surface.
+	NumInputs int
+	// ResidentWaves is the number of wavefronts co-resident on the SIMD;
+	// their fetch streams interleave at TEX-clause granularity.
+	ResidentWaves int
+	// LinearLayout stores surfaces row-major instead of tiled — the
+	// ablation showing how much the tiled layout's match with the
+	// rasterizer is worth.
+	LinearLayout bool
+	// FirstWave is the first wavefront index of the resident window. The
+	// window is consecutive: while the dispatcher scatters consecutive
+	// wavefronts round-robin across SIMD engines, the chip executes a
+	// consecutive window of the domain concurrently, and its reuse is
+	// captured by the (shared) cache hierarchy. The single replayed cache
+	// stands in for that combined L1/L2 behaviour.
+	FirstWave int
+}
+
+// DRAMRowBytes is the DRAM page granularity used for row-activation
+// accounting: fills that land in an already-open row stream at full
+// bandwidth, while each newly opened row pays an activation penalty. This
+// is what separates the naive 64x1 compute walk (fills scattered across
+// eight tiles per wavefront) from the 4x16 block and the pixel-mode tile
+// walk (contiguous fills) even when their L1 hit rates agree.
+const DRAMRowBytes = 2048
+
+// openRows tracks DRAM open pages as a small fully-associative LRU.
+const openRows = 16
+
+// TraceStats summarises one replay.
+type TraceStats struct {
+	Accesses  int
+	Hits      int
+	Misses    int
+	MissBytes int // L1 miss count x line size: the L1 fill traffic
+	// L2Hits and L2Misses split the L1 misses by where they refill from:
+	// the shared L2 (cheap) or DRAM (bandwidth plus row activations).
+	L2Hits    int
+	L2Misses  int
+	DRAMBytes int // L2 miss count x line size: actual DRAM read traffic
+	// RowActivations counts DRAM page openings in the miss stream; see
+	// DRAMRowBytes.
+	RowActivations int
+	// FetchExecs is the number of (wavefront, fetch-instruction)
+	// executions replayed; MissBytes/FetchExecs is the average fill
+	// traffic behind one fetch instruction of one wavefront.
+	FetchExecs int
+}
+
+// HitRate returns the replay's hit fraction.
+func (s TraceStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// MissBytesPerFetch returns average fill bytes per fetch execution.
+func (s TraceStats) MissBytesPerFetch() float64 {
+	if s.FetchExecs == 0 {
+		return 0
+	}
+	return float64(s.MissBytes) / float64(s.FetchExecs)
+}
+
+// ActivationsPerFetch returns average DRAM row activations per fetch
+// execution — the scatter penalty of the access pattern.
+func (s TraceStats) ActivationsPerFetch() float64 {
+	if s.FetchExecs == 0 {
+		return 0
+	}
+	return float64(s.RowActivations) / float64(s.FetchExecs)
+}
+
+// DRAMBytesPerFetch returns average DRAM read traffic per fetch execution
+// (the part of the fill stream the L2 could not absorb).
+func (s TraceStats) DRAMBytesPerFetch() float64 {
+	if s.FetchExecs == 0 {
+		return 0
+	}
+	return float64(s.DRAMBytes) / float64(s.FetchExecs)
+}
+
+// Replay runs the resident set's fetch streams through a fresh L1 model
+// with the device's geometry and returns aggregate statistics. The
+// interleaving mirrors clause switching: each wavefront issues one TEX
+// clause (up to MaxFetchesPerTEXClause fetches), then the SIMD switches to
+// the next resident wavefront, round-robin, until all inputs are fetched.
+func Replay(cfg TraceConfig) (TraceStats, error) {
+	c, err := New(cfg.Spec.L1CacheBytes, cfg.Spec.L1LineBytes, cfg.Spec.L1Ways)
+	if err != nil {
+		return TraceStats{}, err
+	}
+	// The shared L2 uses the same line size as the L1 it refills.
+	l2, err := New(cfg.Spec.L2CacheBytes, cfg.Spec.L1LineBytes, cfg.Spec.L2Ways)
+	if err != nil {
+		return TraceStats{}, err
+	}
+	var st TraceStats
+
+	// Each input is a separate tiled surface; space bases far apart so
+	// surfaces never alias by accident.
+	layouts := make([]raster.Layout, cfg.NumInputs)
+	stride := uint64(1) << 32
+	for i := range layouts {
+		layouts[i] = raster.Layout{W: cfg.W, H: cfg.H, ElemBytes: cfg.ElemBytes, Base: uint64(i) * stride}
+	}
+
+	waves := make([]int, cfg.ResidentWaves)
+	total := cfg.Order.WavefrontCount(cfg.W, cfg.H)
+	for i := range waves {
+		waves[i] = (cfg.FirstWave + i) % max(total, 1)
+	}
+
+	// Open-row tracker: a tiny fully-associative LRU over DRAM pages.
+	rows, err := New(DRAMRowBytes*openRows, DRAMRowBytes, openRows)
+	if err != nil {
+		return TraceStats{}, err
+	}
+
+	// Interleave resource-major within each TEX clause group: clause
+	// switching keeps the resident wavefronts in near-lockstep, so fetch k
+	// of every concurrent wavefront lands close together in time.
+	group := cfg.Spec.MaxFetchesPerTEXClause
+	for first := 0; first < cfg.NumInputs; first += group {
+		last := first + group
+		if last > cfg.NumInputs {
+			last = cfg.NumInputs
+		}
+		for res := first; res < last; res++ {
+			for _, wv := range waves {
+				st.FetchExecs++
+				for lane := 0; lane < raster.WavefrontSize; lane++ {
+					x, y := cfg.Order.Thread(cfg.W, cfg.H, wv, lane)
+					if x >= cfg.W || y >= cfg.H {
+						continue // padding threads fetch nothing
+					}
+					var addr uint64
+					if cfg.LinearLayout {
+						addr = layouts[res].LinearAddress(x, y)
+					} else {
+						addr = layouts[res].Address(x, y)
+					}
+					h, m := c.AccessRange(addr, cfg.ElemBytes)
+					st.Hits += h
+					st.Misses += m
+					st.Accesses += h + m
+					if m > 0 {
+						// L1 misses refill through the L2; only L2
+						// misses reach DRAM and can open rows.
+						if l2.Access(addr) {
+							st.L2Hits += m
+						} else {
+							st.L2Misses += m
+							if !rows.Access(addr) {
+								st.RowActivations++
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	st.MissBytes = st.Misses * cfg.Spec.L1LineBytes
+	st.DRAMBytes = st.L2Misses * cfg.Spec.L1LineBytes
+	return st, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

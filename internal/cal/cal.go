@@ -1,0 +1,275 @@
+// Package cal is the runtime layer of the reproduction: a Compute
+// Abstraction Layer shaped like the StreamSDK API the paper programs
+// against. Applications open a (simulated) device, create a context,
+// compile IL kernels into modules, allocate 2D resources, bind them, and
+// launch over a domain of execution. A launch returns an event carrying
+// the simulated kernel timing — the quantity every micro-benchmark
+// measures — and can optionally execute the kernel functionally so
+// examples can verify numerical results.
+package cal
+
+import (
+	"fmt"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/interp"
+	"amdgpubench/internal/isa"
+	"amdgpubench/internal/raster"
+	"amdgpubench/internal/sim"
+)
+
+// Device is an opened GPU.
+type Device struct {
+	spec device.Spec
+}
+
+// OpenDevice opens one of the three modelled GPUs.
+func OpenDevice(arch device.Arch) (*Device, error) {
+	spec := device.Lookup(arch)
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("cal: %w", err)
+	}
+	return &Device{spec: spec}, nil
+}
+
+// OpenCustomDevice opens a user-defined (e.g. future-generation) chip.
+func OpenCustomDevice(spec device.Spec) (*Device, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("cal: %w", err)
+	}
+	return &Device{spec: spec}, nil
+}
+
+// Info returns the device's parameter table.
+func (d *Device) Info() device.Spec { return d.spec }
+
+// Context is a command context on a device.
+type Context struct {
+	dev *Device
+}
+
+// CreateContext creates a context.
+func (d *Device) CreateContext() *Context { return &Context{dev: d} }
+
+// Module is a compiled kernel.
+type Module struct {
+	Kernel *il.Kernel
+	Prog   *isa.Program
+}
+
+// LoadModule compiles an IL kernel for the context's device.
+func (c *Context) LoadModule(k *il.Kernel) (*Module, error) {
+	return c.LoadModuleWith(k, ilc.Options{})
+}
+
+// LoadModuleWith compiles with explicit compiler options (ablations).
+func (c *Context) LoadModuleWith(k *il.Kernel, opts ilc.Options) (*Module, error) {
+	prog, err := ilc.CompileWith(k, c.dev.spec, opts)
+	if err != nil {
+		return nil, fmt.Errorf("cal: %w", err)
+	}
+	return &Module{Kernel: k, Prog: prog}, nil
+}
+
+// Disassemble returns the module's ISA listing (Fig. 2 style).
+func (m *Module) Disassemble() string { return isa.Disassemble(m.Prog) }
+
+// Stats returns the module's static analysis, what the SKA tool reports.
+func (m *Module) Stats() isa.Stats { return m.Prog.Stats() }
+
+// Resource is a 2D surface: an input texture/buffer or an output buffer.
+type Resource struct {
+	W, H  int
+	Type  il.DataType
+	Space il.MemSpace
+	data  []float32 // lane-major: (y*W+x)*lanes + lane
+}
+
+// AllocResource2D allocates a W x H surface.
+func (c *Context) AllocResource2D(w, h int, dt il.DataType, space il.MemSpace) (*Resource, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("cal: bad resource size %dx%d", w, h)
+	}
+	return &Resource{W: w, H: h, Type: dt, Space: space,
+		data: make([]float32, w*h*dt.Lanes())}, nil
+}
+
+// Set writes one element's lane.
+func (r *Resource) Set(x, y, lane int, v float32) error {
+	i, err := r.index(x, y, lane)
+	if err != nil {
+		return err
+	}
+	r.data[i] = v
+	return nil
+}
+
+// At reads one element's lane.
+func (r *Resource) At(x, y, lane int) (float32, error) {
+	i, err := r.index(x, y, lane)
+	if err != nil {
+		return 0, err
+	}
+	return r.data[i], nil
+}
+
+// Fill sets every element lane from a generator, a convenience for
+// uploading synthetic workloads.
+func (r *Resource) Fill(f func(x, y, lane int) float32) {
+	lanes := r.Type.Lanes()
+	for y := 0; y < r.H; y++ {
+		for x := 0; x < r.W; x++ {
+			for l := 0; l < lanes; l++ {
+				r.data[(y*r.W+x)*lanes+l] = f(x, y, l)
+			}
+		}
+	}
+}
+
+func (r *Resource) index(x, y, lane int) (int, error) {
+	if x < 0 || x >= r.W || y < 0 || y >= r.H || lane < 0 || lane >= r.Type.Lanes() {
+		return 0, fmt.Errorf("cal: access (%d,%d) lane %d outside %dx%d %s resource", x, y, lane, r.W, r.H, r.Type)
+	}
+	return (y*r.W+x)*r.Type.Lanes() + lane, nil
+}
+
+// LaunchConfig binds resources and picks the execution shape.
+type LaunchConfig struct {
+	Order raster.Order
+	W, H  int
+	// Iterations defaults to the paper's 5000 when zero.
+	Iterations int
+	// Inputs and Outputs bind resources positionally to the kernel's
+	// declared inputs/outputs; both may be nil for timing-only launches.
+	Inputs  []*Resource
+	Outputs []*Resource
+	// Constants binds the constant buffer cb0: element i, lane l reads
+	// Constants[i][l]. Unbound elements read as zero.
+	Constants [][4]float32
+	// Functional also executes the kernel on the bound resources
+	// (requires non-nil bindings). Functional execution interprets every
+	// thread; keep domains small when enabling it.
+	Functional bool
+	// Ablate selectively disables hardware mechanisms in the timing
+	// simulation (see sim.Ablations).
+	Ablate sim.Ablations
+}
+
+// Event is the result of a launch.
+type Event struct {
+	Result sim.Result
+}
+
+// ElapsedSeconds returns the simulated wall-clock time of the launch
+// (kernel invocation and execution only; no off-board transfers, exactly
+// the paper's timing discipline).
+func (e *Event) ElapsedSeconds() float64 { return e.Result.Seconds }
+
+// Bottleneck returns the limiting resource classification.
+func (e *Event) Bottleneck() sim.Bottleneck { return e.Result.Bottleneck }
+
+// Launch runs a module over a domain.
+func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return nil, fmt.Errorf("cal: bad domain %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.Inputs != nil || cfg.Outputs != nil || cfg.Functional {
+		if err := c.validateBindings(m, cfg); err != nil {
+			return nil, err
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		Spec:       c.dev.spec,
+		Prog:       m.Prog,
+		Order:      cfg.Order,
+		W:          cfg.W,
+		H:          cfg.H,
+		Iterations: cfg.Iterations,
+		Ablate:     cfg.Ablate,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cal: %w", err)
+	}
+	if cfg.Functional {
+		if err := c.executeFunctional(m, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return &Event{Result: res}, nil
+}
+
+func (c *Context) validateBindings(m *Module, cfg LaunchConfig) error {
+	k := m.Kernel
+	if len(cfg.Inputs) != k.NumInputs {
+		return fmt.Errorf("cal: kernel %q declares %d inputs, %d bound", k.Name, k.NumInputs, len(cfg.Inputs))
+	}
+	if len(cfg.Outputs) != k.NumOutputs {
+		return fmt.Errorf("cal: kernel %q declares %d outputs, %d bound", k.Name, k.NumOutputs, len(cfg.Outputs))
+	}
+	check := func(r *Resource, what string, i int, space il.MemSpace) error {
+		if r == nil {
+			return fmt.Errorf("cal: %s %d is nil", what, i)
+		}
+		if r.W < cfg.W || r.H < cfg.H {
+			return fmt.Errorf("cal: %s %d is %dx%d, smaller than the %dx%d domain", what, i, r.W, r.H, cfg.W, cfg.H)
+		}
+		if r.Type != k.Type {
+			return fmt.Errorf("cal: %s %d is %s but kernel is %s", what, i, r.Type, k.Type)
+		}
+		if r.Space != space {
+			return fmt.Errorf("cal: %s %d allocated in %s space but kernel reads/writes %s", what, i, r.Space, space)
+		}
+		return nil
+	}
+	for i, r := range cfg.Inputs {
+		if err := check(r, "input", i, k.InputSpace); err != nil {
+			return err
+		}
+	}
+	for i, r := range cfg.Outputs {
+		if err := check(r, "output", i, k.OutSpace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executeFunctional interprets the kernel for every thread of the domain
+// and writes the bound outputs.
+func (c *Context) executeFunctional(m *Module, cfg LaunchConfig) error {
+	env := interp.Env{
+		W: cfg.W, H: cfg.H,
+		Input: func(res, x, y, l int) float32 {
+			v, err := cfg.Inputs[res].At(x, y, l)
+			if err != nil {
+				return 0
+			}
+			return v
+		},
+		Const: func(idx, l int) float32 {
+			if idx < 0 || idx >= len(cfg.Constants) || l < 0 || l > 3 {
+				return 0
+			}
+			return cfg.Constants[idx][l]
+		},
+	}
+	lanes := m.Kernel.Type.Lanes()
+	for y := 0; y < cfg.H; y++ {
+		for x := 0; x < cfg.W; x++ {
+			out, err := interp.RunISA(m.Prog, env, interp.Thread{X: x, Y: y})
+			if err != nil {
+				return fmt.Errorf("cal: functional execution at (%d,%d): %w", x, y, err)
+			}
+			for idx, vec := range out {
+				for l := 0; l < lanes; l++ {
+					if err := cfg.Outputs[idx].Set(x, y, l, vec[l]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+// Package core is the micro-benchmark suite itself: the paper's primary
+// contribution. Each benchmark generates parameterised IL kernels
+// (internal/kerngen), compiles them through the CAL layer, times them on
+// the simulated GPUs, and emits a report figure shaped like the paper's:
+//
+//	ALUFetchRatio   — Figs. 7, 8, 9, 10
+//	ReadLatency     — Figs. 11 (texture) and 12 (global)
+//	WriteLatency    — Figs. 13 (streaming store) and 14 (global write)
+//	DomainSize      — Fig. 15 (a) pixel and (b) compute
+//	RegisterUsage   — Figs. 16 and 17
+//	ClauseUsage     — the Fig. 5 control experiment
+//	HardwareTable   — Table I
+//
+// Beyond regenerating curves, every run reports which of the three
+// hardware bottlenecks (ALU, texture fetch, memory) limited each kernel —
+// the classification the paper argues is the starting point of any
+// optimization.
+package core
+
+import (
+	"fmt"
+
+	"amdgpubench/internal/cal"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/raster"
+)
+
+// Card is one plotted configuration: a GPU in a shader mode with a data
+// type and (for compute mode) a block shape.
+type Card struct {
+	Arch   device.Arch
+	Mode   il.ShaderMode
+	Type   il.DataType
+	BlockW int // compute-mode block width; 0 means the naive 64x1
+	BlockH int
+}
+
+// Label renders the series name the way the paper's legends do, e.g.
+// "4870 Compute Float4".
+func (c Card) Label() string {
+	mode := "Pixel"
+	if c.Mode == il.Compute {
+		mode = "Compute"
+	}
+	dt := "Float"
+	if c.Type == il.Float4 {
+		dt = "Float4"
+	}
+	return fmt.Sprintf("%s %s %s", c.Arch.CardName(), mode, dt)
+}
+
+// Order returns the card's domain walk.
+func (c Card) Order() (raster.Order, error) {
+	if c.Mode == il.Pixel {
+		return raster.PixelOrder(), nil
+	}
+	bw, bh := c.BlockW, c.BlockH
+	if bw == 0 && bh == 0 {
+		return raster.Naive64x1(), nil
+	}
+	return raster.ComputeOrder(bw, bh)
+}
+
+// StandardCards returns the paper's default series set: every chip in
+// pixel and (where supported) compute mode, for float and float4. The
+// compute entries use the naive 64x1 block unless bw/bh override it.
+func StandardCards(bw, bh int) []Card {
+	var cards []Card
+	for _, spec := range device.All() {
+		for _, dt := range []il.DataType{il.Float, il.Float4} {
+			cards = append(cards, Card{Arch: spec.Arch, Mode: il.Pixel, Type: dt})
+		}
+	}
+	for _, spec := range device.All() {
+		if !spec.SupportsCompute {
+			continue
+		}
+		for _, dt := range []il.DataType{il.Float, il.Float4} {
+			cards = append(cards, Card{Arch: spec.Arch, Mode: il.Compute, Type: dt, BlockW: bw, BlockH: bh})
+		}
+	}
+	return cards
+}
+
+// PixelCards returns only the pixel-mode series for all chips.
+func PixelCards() []Card {
+	var cards []Card
+	for _, spec := range device.All() {
+		for _, dt := range []il.DataType{il.Float, il.Float4} {
+			cards = append(cards, Card{Arch: spec.Arch, Mode: il.Pixel, Type: dt})
+		}
+	}
+	return cards
+}
+
+// ComputeCards returns only compute-mode series (RV770 and RV870) with the
+// given block shape.
+func ComputeCards(bw, bh int) []Card {
+	var cards []Card
+	for _, spec := range device.All() {
+		if !spec.SupportsCompute {
+			continue
+		}
+		for _, dt := range []il.DataType{il.Float, il.Float4} {
+			cards = append(cards, Card{Arch: spec.Arch, Mode: il.Compute, Type: dt, BlockW: bw, BlockH: bh})
+		}
+	}
+	return cards
+}
+
+// Suite runs the micro-benchmarks.
+type Suite struct {
+	// Iterations per kernel timing; zero uses the paper's 5000.
+	Iterations int
+	// Workers bounds sweep parallelism; zero uses GOMAXPROCS. Every sweep
+	// point is an independent deterministic simulation, so results are
+	// identical at any worker count.
+	Workers int
+
+	contexts map[device.Arch]*cal.Context
+}
+
+// NewSuite constructs a suite.
+func NewSuite() *Suite {
+	return &Suite{contexts: make(map[device.Arch]*cal.Context)}
+}
+
+func (s *Suite) context(a device.Arch) (*cal.Context, error) {
+	if s.contexts == nil {
+		s.contexts = make(map[device.Arch]*cal.Context)
+	}
+	if c, ok := s.contexts[a]; ok {
+		return c, nil
+	}
+	d, err := cal.OpenDevice(a)
+	if err != nil {
+		return nil, err
+	}
+	c := d.CreateContext()
+	s.contexts[a] = c
+	return c, nil
+}
+
+// Run is one timed kernel execution with its classification.
+type Run struct {
+	Card       Card
+	X          float64 // the swept parameter's value
+	Seconds    float64
+	GPRs       int
+	Waves      int
+	HitRate    float64
+	Bottleneck string
+}
+
+// runKernel compiles and times one kernel for one card.
+func (s *Suite) runKernel(card Card, k *il.Kernel, w, h int) (Run, error) {
+	ctx, err := s.context(card.Arch)
+	if err != nil {
+		return Run{}, err
+	}
+	m, err := ctx.LoadModule(k)
+	if err != nil {
+		return Run{}, err
+	}
+	order, err := card.Order()
+	if err != nil {
+		return Run{}, err
+	}
+	ev, err := ctx.Launch(m, cal.LaunchConfig{
+		Order: order, W: w, H: h, Iterations: s.Iterations,
+	})
+	if err != nil {
+		return Run{}, err
+	}
+	return Run{
+		Card:       card,
+		Seconds:    ev.ElapsedSeconds(),
+		GPRs:       ev.Result.GPRs,
+		Waves:      ev.Result.WavesPerSIMD,
+		HitRate:    ev.Result.HitRate,
+		Bottleneck: ev.Bottleneck().String(),
+	}, nil
+}
+
+// params builds kerngen parameters for a card.
+func (c Card) params(inputs, outputs int, inSpace, outSpace il.MemSpace) kerngen.Params {
+	if c.Mode == il.Compute {
+		outSpace = il.GlobalSpace // compute mode has no streaming stores
+	}
+	return kerngen.Params{
+		Mode: c.Mode, Type: c.Type,
+		Inputs: inputs, Outputs: outputs,
+		InputSpace: inSpace, OutSpace: outSpace,
+	}
+}

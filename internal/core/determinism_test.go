@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+)
+
+// TestParallelSweepDeterministic proves the README's guarantee: the
+// worker-pool sweep produces bit-identical figures at any worker count,
+// because every point is an independent deterministic simulation.
+func TestParallelSweepDeterministic(t *testing.T) {
+	run := func(workers int) string {
+		s := NewSuite()
+		s.Iterations = 1
+		s.Workers = workers
+		fig, _, err := s.ALUFetchRatio(ALUFetchConfig{
+			Cards: []Card{
+				{Arch: device.RV770, Mode: il.Pixel, Type: il.Float},
+				{Arch: device.RV870, Mode: il.Compute, Type: il.Float4},
+			},
+			RatioMax: 2.0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.CSV()
+	}
+	serial := run(1)
+	for _, w := range []int{2, 8, 16} {
+		if got := run(w); got != serial {
+			t.Fatalf("figure differs at %d workers:\n%s\nvs serial:\n%s", w, got, serial)
+		}
+	}
+}
+
+// TestSuiteRunsAreRepeatable re-runs one figure twice on one suite: the
+// simulator holds no hidden state between launches.
+func TestSuiteRunsAreRepeatable(t *testing.T) {
+	s := suite()
+	fig1, _, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig2, _, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig1.CSV() != fig2.CSV() {
+		t.Fatal("same suite produced different results on repeat")
+	}
+}

@@ -1,0 +1,30 @@
+package core_test
+
+import (
+	"fmt"
+
+	"amdgpubench/internal/core"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+)
+
+// ExampleAdvise shows the paper's Section IV/V prescriptions for a
+// fetch-bound compute kernel running with the naive 64x1 block at low
+// occupancy.
+func ExampleAdvise() {
+	run := core.Run{
+		Card:       core.Card{Arch: device.RV770, Mode: il.Compute, Type: il.Float},
+		Bottleneck: "fetch",
+		HitRate:    0.85,
+		Waves:      4,
+		GPRs:       64,
+	}
+	for i, a := range core.Advise(run) {
+		fmt.Printf("%d. %s\n", i+1, a.Suggestion)
+	}
+	// Output:
+	// 1. Increase ALU operations per fetch (compute more per fetched element, e.g. unroll outputs per thread) until the ALU:Fetch crossover.
+	// 2. Replace the naive 64x1 block with a two-dimensional block (e.g. 4x16) to restore cache locality.
+	// 3. Raise the texture cache hit rate (currently 85%): increase elements per block or reduce simultaneous wavefronts.
+	// 4. Reduce register usage (currently 64 GPRs, 4 wavefronts/SIMD) so more wavefronts can hide fetch latency.
+}

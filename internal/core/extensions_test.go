@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/report"
+)
+
+func TestTransThroughputShapes(t *testing.T) {
+	s := suite()
+	fig, _, err := s.TransThroughput(TransThroughputConfig{
+		Arch: device.RV770, MaxOps: 128, StepOps: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(label string, x float64) float64 {
+		return at(t, seriesByLabel(t, fig, label), x)
+	}
+	// Scalar transcendental chains cost the same as scalar add chains:
+	// both retire one bundle per op.
+	addF := get("4870 float add", 128)
+	rcpF := get("4870 float rcp/rsq", 128)
+	if addF != rcpF {
+		t.Errorf("scalar trans chain (%v) != scalar add chain (%v)", rcpF, addF)
+	}
+	// Float4 transcendentals serialize through the single t core: about
+	// 4x the float4 add chain.
+	addF4 := get("4870 float4 add", 128)
+	rcpF4 := get("4870 float4 rcp/rsq", 128)
+	if ratio := rcpF4 / addF4; ratio < 3 || ratio > 5 {
+		t.Errorf("float4 trans / add ratio = %v, want about 4", ratio)
+	}
+	// All series grow with chain length.
+	for _, sr := range fig.Series {
+		slope, _, _ := report.LinearFit(sr)
+		if slope <= 0 {
+			t.Errorf("%s: chain time does not grow", sr.Label)
+		}
+	}
+}
+
+func TestBlockSizeSweepShapes(t *testing.T) {
+	s := suite()
+	fig, runs, err := s.BlockSizeSweep(BlockSizeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("block sweep has %d series, want 4", len(fig.Series))
+	}
+	// The square-ish shapes (8x8 at index 3, 4x16 at index 4) must beat
+	// the paper's naive 64x1 (index 0) on every chip and type.
+	for _, sr := range fig.Series {
+		naive := at(t, sr, 0)
+		square := at(t, sr, 3)
+		if !(square < naive) {
+			t.Errorf("%s: 8x8 block (%v) not below 64x1 (%v)", sr.Label, square, naive)
+		}
+	}
+	// "One block size might not be best for all GPUs": the extreme 1x64
+	// column walk hurts the long-line RV870 clearly (each thread touches
+	// its own 128B line; the shared L2 absorbs part of the waste but the
+	// L1 fill path still pays for every line).
+	tall870 := at(t, seriesByLabel(t, fig, "5870 Compute Float"), 6)
+	best870 := at(t, seriesByLabel(t, fig, "5870 Compute Float"), 3)
+	if !(tall870 > 1.5*best870) {
+		t.Errorf("5870 1x64 (%v) not well above its best (%v)", tall870, best870)
+	}
+	for _, r := range runs {
+		if r.Seconds <= 0 {
+			t.Fatalf("non-positive time in run %+v", r)
+		}
+	}
+}
+
+func TestAblationStudyDirections(t *testing.T) {
+	s := suite()
+	res, err := s.AblationStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+	}
+	// Turning latency hiding off must hurt badly (Fig. 16's mechanism).
+	if r := byName["clause switching (latency hiding)"]; r.Ratio() < 2 {
+		t.Errorf("single-wavefront slowdown = %.2fx, want >= 2x", r.Ratio())
+	}
+	// Scattered writes must be much slower than bursts (Section II-B).
+	if r := byName["burst writes"]; r.Ratio() < 1.5 {
+		t.Errorf("no-burst slowdown = %.2fx, want >= 1.5x", r.Ratio())
+	}
+	// Row-major textures must not beat the tiled layout in pixel mode.
+	if r := byName["tiled texture layout"]; r.Ratio() < 1 {
+		t.Errorf("linear-texture ablation sped things up: %.2fx", r.Ratio())
+	}
+	// Removing clause temporaries floods the register file with writes.
+	r := byName["clause temporaries"]
+	if r.GPRWritesAblated <= 2*r.GPRWritesBase {
+		t.Errorf("no-temps GPR writes %d not well above baseline %d",
+			r.GPRWritesAblated, r.GPRWritesBase)
+	}
+	// The combined forwarding ablation is at least as write-heavy.
+	all := byName["all forwarding (PV + temps)"]
+	if all.GPRWritesAblated < r.GPRWritesAblated {
+		t.Errorf("combined ablation writes (%d) below temps-only (%d)",
+			all.GPRWritesAblated, r.GPRWritesAblated)
+	}
+	// The ablation table formats every row.
+	tbl := AblationTable(res)
+	if len(tbl.Rows) != len(res) {
+		t.Fatalf("table rows = %d, want %d", len(tbl.Rows), len(res))
+	}
+}
+
+func TestConstantsSweepFlat(t *testing.T) {
+	s := suite()
+	fig, runs, err := s.ConstantsSweep(ConstantsConfig{Arch: device.RV770})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("constants sweep has %d series, want 2", len(fig.Series))
+	}
+	// Constants are free: time and register count are invariant in the
+	// constant count, which is why the paper can hold it fixed while
+	// sweeping everything else.
+	for _, sr := range fig.Series {
+		for _, p := range sr.Points {
+			if p.Y != sr.Points[0].Y {
+				t.Fatalf("%s: time varies with constants: %v", sr.Label, sr.Points)
+			}
+		}
+	}
+	for _, r := range runs {
+		if r.GPRs != runs[0].GPRs && r.Card == runs[0].Card {
+			t.Fatalf("GPRs vary with constants: %d vs %d", r.GPRs, runs[0].GPRs)
+		}
+	}
+}

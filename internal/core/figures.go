@@ -1,0 +1,148 @@
+package core
+
+import (
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/report"
+)
+
+// This file wires each paper figure to its exact configuration, so the
+// CLI, the benchmarks and EXPERIMENTS.md all regenerate the same curves.
+
+// Fig7 is the ALU:Fetch ratio sweep with texture-fetch inputs: 16 inputs,
+// one output, domain 1024x1024, ratios 0.25..8.0 step 0.25, every chip in
+// pixel and (naive 64x1) compute mode, float and float4.
+func (s *Suite) Fig7() (*report.Figure, []Run, error) {
+	fig, runs, err := s.ALUFetchRatio(ALUFetchConfig{})
+	if fig != nil {
+		fig.ID, fig.Title = "fig7", "ALU:Fetch Ratio for 16 Inputs"
+	}
+	return fig, runs, err
+}
+
+// Fig8 repeats Fig. 7's compute-mode series with the optimized 4x16 block.
+func (s *Suite) Fig8() (*report.Figure, []Run, error) {
+	fig, runs, err := s.ALUFetchRatio(ALUFetchConfig{Cards: ComputeCards(4, 16)})
+	if fig != nil {
+		fig.ID, fig.Title = "fig8", "ALU:Fetch Ratio for 16 Inputs with Block Size of 4x16"
+	}
+	return fig, runs, err
+}
+
+// Fig9 is the ALU:Fetch sweep with global-memory reads and streaming
+// stores, pixel mode only.
+func (s *Suite) Fig9() (*report.Figure, []Run, error) {
+	fig, runs, err := s.ALUFetchRatio(ALUFetchConfig{
+		Cards:      PixelCards(),
+		InputSpace: il.GlobalSpace,
+		OutSpace:   il.TextureSpace,
+	})
+	if fig != nil {
+		fig.ID, fig.Title = "fig9", "ALU:Fetch Ratio Global Read Stream Write"
+	}
+	return fig, runs, err
+}
+
+// Fig10 is the ALU:Fetch sweep with global reads and global writes, on the
+// GDDR5 chips in both modes (the configuration the paper plots).
+func (s *Suite) Fig10() (*report.Figure, []Run, error) {
+	var cards []Card
+	for _, a := range []device.Arch{device.RV770, device.RV870} {
+		for _, dt := range []il.DataType{il.Float, il.Float4} {
+			cards = append(cards, Card{Arch: a, Mode: il.Pixel, Type: dt})
+			cards = append(cards, Card{Arch: a, Mode: il.Compute, Type: dt})
+		}
+	}
+	fig, runs, err := s.ALUFetchRatio(ALUFetchConfig{
+		Cards:      cards,
+		InputSpace: il.GlobalSpace,
+		OutSpace:   il.GlobalSpace,
+	})
+	if fig != nil {
+		fig.ID, fig.Title = "fig10", "ALU:Fetch Ratio for 16 Inputs using Global Read and Write"
+	}
+	return fig, runs, err
+}
+
+// Fig11 is the texture fetch latency sweep: inputs 2..18.
+func (s *Suite) Fig11() (*report.Figure, []Run, error) {
+	fig, runs, err := s.ReadLatency(ReadLatencyConfig{Space: il.TextureSpace})
+	if fig != nil {
+		fig.ID, fig.Title = "fig11", "Texture Fetch Latency"
+	}
+	return fig, runs, err
+}
+
+// Fig12 is the global read latency sweep.
+func (s *Suite) Fig12() (*report.Figure, []Run, error) {
+	fig, runs, err := s.ReadLatency(ReadLatencyConfig{Space: il.GlobalSpace})
+	if fig != nil {
+		fig.ID, fig.Title = "fig12", "Global Read Latency"
+	}
+	return fig, runs, err
+}
+
+// Fig13 is the streaming store latency sweep: outputs 1..8, pixel mode.
+func (s *Suite) Fig13() (*report.Figure, []Run, error) {
+	fig, runs, err := s.WriteLatency(WriteLatencyConfig{Space: il.TextureSpace})
+	if fig != nil {
+		fig.ID, fig.Title = "fig13", "Streaming Store Latency"
+	}
+	return fig, runs, err
+}
+
+// Fig14 is the global write latency sweep: outputs 1..8, both modes.
+func (s *Suite) Fig14() (*report.Figure, []Run, error) {
+	fig, runs, err := s.WriteLatency(WriteLatencyConfig{Space: il.GlobalSpace})
+	if fig != nil {
+		fig.ID, fig.Title = "fig14", "Global Write Latency"
+	}
+	return fig, runs, err
+}
+
+// Fig15Pixel is the pixel-mode domain size sweep (Fig. 15a).
+func (s *Suite) Fig15Pixel() (*report.Figure, []Run, error) {
+	fig, runs, err := s.DomainSize(DomainConfig{Cards: PixelCards()})
+	if fig != nil {
+		fig.ID, fig.Title = "fig15a", "Domain Size Pixel Shader"
+	}
+	return fig, runs, err
+}
+
+// Fig15Compute is the compute-mode domain size sweep (Fig. 15b).
+func (s *Suite) Fig15Compute() (*report.Figure, []Run, error) {
+	fig, runs, err := s.DomainSize(DomainConfig{Cards: ComputeCards(0, 0)})
+	if fig != nil {
+		fig.ID, fig.Title = "fig15b", "Domain Size Compute Shader"
+	}
+	return fig, runs, err
+}
+
+// Fig16 is the register pressure sweep: 64 inputs, space 8, ALU:Fetch 4.0.
+func (s *Suite) Fig16() (*report.Figure, []Run, error) {
+	fig, runs, err := s.RegisterUsage(RegisterUsageConfig{})
+	if fig != nil {
+		fig.ID, fig.Title = "fig16", "Impact of Register Usage"
+	}
+	return fig, runs, err
+}
+
+// Fig17 repeats Fig. 16's compute series with the 4x16 block.
+func (s *Suite) Fig17() (*report.Figure, []Run, error) {
+	fig, runs, err := s.RegisterUsage(RegisterUsageConfig{Cards: ComputeCards(4, 16)})
+	if fig != nil {
+		fig.ID, fig.Title = "fig17", "Impact of Register Usage with Block Size of 4x16"
+	}
+	return fig, runs, err
+}
+
+// ClauseControl is the Fig. 5 experiment: identical clause structure with
+// all sampling up front; its curves must be flat, proving Fig. 16's gains
+// come from register pressure rather than clause movement.
+func (s *Suite) ClauseControl() (*report.Figure, []Run, error) {
+	fig, runs, err := s.RegisterUsage(RegisterUsageConfig{Control: true})
+	if fig != nil {
+		fig.ID, fig.Title = "clausectl", "Clause Usage Control"
+	}
+	return fig, runs, err
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"amdgpubench/internal/il"
+)
+
+// The suite's sweeps are embarrassingly parallel: every (card, parameter)
+// point compiles and simulates independently and deterministically. This
+// file provides the order-preserving worker pool the benchmarks run on.
+
+// point is one sweep job: a kernel to time on a card at an x coordinate.
+type point struct {
+	card Card
+	x    float64
+	k    *il.Kernel
+	w, h int
+}
+
+// Workers sets the sweep parallelism; zero means GOMAXPROCS. It is a
+// Suite field so tests can force serial execution.
+func (s *Suite) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runPoints times every point, in parallel, and returns the runs in input
+// order. Device contexts are created up front because the lazy context
+// map is not safe for concurrent mutation; the contexts themselves are
+// read-only during launches.
+func (s *Suite) runPoints(pts []point) ([]Run, error) {
+	for _, p := range pts {
+		if _, err := s.context(p.card.Arch); err != nil {
+			return nil, err
+		}
+	}
+	runs := make([]Run, len(pts))
+	errs := make([]error, len(pts))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, s.workers())
+	for i := range pts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			p := pts[i]
+			run, err := s.runKernel(p.card, p.k, p.w, p.h)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: %s at x=%g: %w", p.card.Label(), p.x, err)
+				return
+			}
+			run.X = p.x
+			runs[i] = run
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/kerngen"
+)
+
+func TestTuneBlockSizeFindsBetterThanNaive(t *testing.T) {
+	s := suite()
+	k, err := kerngen.ALUFetch(kerngen.Params{
+		Mode: il.Compute, Type: il.Float, Inputs: 16, Outputs: 1,
+		ALUFetchRatio: 0.25, OutSpace: il.GlobalSpace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := Card{Arch: device.RV770, Mode: il.Compute, Type: il.Float}
+	res, err := s.TuneBlockSize(card, k, 1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != len(blockShapes) {
+		t.Fatalf("tried %d shapes, want %d", len(res.Trials), len(blockShapes))
+	}
+	if res.Best.BlockW == 64 && res.Best.BlockH == 1 {
+		t.Fatal("tuner picked the naive 64x1 block for a fetch-bound kernel")
+	}
+	if res.Speedup < 1.5 {
+		t.Fatalf("tuner speedup %.2fx, want >= 1.5x", res.Speedup)
+	}
+	ord, err := res.Order()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ord.BlockW != res.Best.BlockW || ord.BlockH != res.Best.BlockH {
+		t.Fatal("Order() does not match the best trial")
+	}
+	out := FormatBlockTune(res)
+	if !strings.Contains(out, "best:") || !strings.Contains(out, "*") {
+		t.Errorf("tuning table malformed:\n%s", out)
+	}
+}
+
+func TestTuneBlockSizeRejectsPixelKernels(t *testing.T) {
+	s := suite()
+	k, err := kerngen.ALUFetch(kerngen.Params{
+		Mode: il.Pixel, Type: il.Float, Inputs: 8, Outputs: 1, ALUFetchRatio: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := Card{Arch: device.RV770, Mode: il.Pixel, Type: il.Float}
+	if _, err := s.TuneBlockSize(card, k, 256, 256); err == nil {
+		t.Fatal("pixel kernel accepted for block tuning")
+	}
+}
+
+func TestTuneBlockSizeALUBoundIndifferent(t *testing.T) {
+	// An ALU-bound kernel should see little spread across blocks; the
+	// tuner must still work and report a modest speedup.
+	s := suite()
+	k, err := kerngen.ALUFetch(kerngen.Params{
+		Mode: il.Compute, Type: il.Float, Inputs: 4, Outputs: 1,
+		ALUFetchRatio: 16, OutSpace: il.GlobalSpace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	card := Card{Arch: device.RV770, Mode: il.Compute, Type: il.Float}
+	res, err := s.TuneBlockSize(card, k, 1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup > 1.3 {
+		t.Fatalf("ALU-bound kernel shows %.2fx block sensitivity, want little", res.Speedup)
+	}
+}

@@ -1,0 +1,141 @@
+package il
+
+// Binary kernel encoding. The StreamSDK shipped kernels as binary IL
+// streams; this codec gives modules a compact, versioned serialized form
+// (used, e.g., to cache compiled micro-benchmark kernels between runs).
+// The format is little-endian:
+//
+//	magic   uint32  'A','I','L','1'
+//	mode    uint8
+//	type    uint8
+//	inSpace uint8
+//	outSpace uint8
+//	inputs  uint16
+//	outputs uint16
+//	consts  uint16
+//	nameLen uint16, name bytes
+//	count   uint32, then per instruction:
+//	  op    uint8
+//	  dst   int32 (-1 = none)
+//	  srcA  int32
+//	  srcB  int32
+//	  res   int32
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// binaryMagic identifies the format and version.
+var binaryMagic = [4]byte{'A', 'I', 'L', '1'}
+
+// EncodeBinary serializes a kernel. The kernel is validated first; only
+// well-formed kernels round trip.
+func EncodeBinary(k *Kernel) ([]byte, error) {
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("il: encode: %w", err)
+	}
+	if len(k.Name) > 0xFFFF {
+		return nil, fmt.Errorf("il: encode: kernel name too long (%d bytes)", len(k.Name))
+	}
+	var b bytes.Buffer
+	b.Write(binaryMagic[:])
+	b.WriteByte(byte(k.Mode))
+	b.WriteByte(byte(k.Type))
+	b.WriteByte(byte(k.InputSpace))
+	b.WriteByte(byte(k.OutSpace))
+	var hdr [8]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(k.NumInputs))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(k.NumOutputs))
+	binary.LittleEndian.PutUint16(hdr[4:], uint16(k.NumConsts))
+	binary.LittleEndian.PutUint16(hdr[6:], uint16(len(k.Name)))
+	b.Write(hdr[:])
+	b.WriteString(k.Name)
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(k.Code)))
+	b.Write(cnt[:])
+	for _, in := range k.Code {
+		b.WriteByte(byte(in.Op))
+		var rec [16]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(int32(in.Dst)))
+		binary.LittleEndian.PutUint32(rec[4:], uint32(int32(in.SrcA)))
+		binary.LittleEndian.PutUint32(rec[8:], uint32(int32(in.SrcB)))
+		binary.LittleEndian.PutUint32(rec[12:], uint32(int32(in.Res)))
+		b.Write(rec[:])
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeBinary parses a kernel serialized by EncodeBinary and validates
+// the result, so a corrupted stream cannot produce an ill-formed kernel.
+func DecodeBinary(data []byte) (*Kernel, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != binaryMagic {
+		return nil, fmt.Errorf("il: decode: bad magic")
+	}
+	var fixed [4]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, fmt.Errorf("il: decode: truncated header")
+	}
+	k := &Kernel{
+		Mode:       ShaderMode(fixed[0]),
+		Type:       DataType(fixed[1]),
+		InputSpace: MemSpace(fixed[2]),
+		OutSpace:   MemSpace(fixed[3]),
+	}
+	if k.Mode != Pixel && k.Mode != Compute {
+		return nil, fmt.Errorf("il: decode: bad shader mode %d", fixed[0])
+	}
+	if k.Type != Float && k.Type != Float4 {
+		return nil, fmt.Errorf("il: decode: bad data type %d", fixed[1])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("il: decode: truncated counts")
+	}
+	k.NumInputs = int(binary.LittleEndian.Uint16(hdr[0:]))
+	k.NumOutputs = int(binary.LittleEndian.Uint16(hdr[2:]))
+	k.NumConsts = int(binary.LittleEndian.Uint16(hdr[4:]))
+	nameLen := int(binary.LittleEndian.Uint16(hdr[6:]))
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil && nameLen > 0 {
+		return nil, fmt.Errorf("il: decode: truncated name")
+	}
+	k.Name = string(name)
+	var cnt [4]byte
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("il: decode: truncated instruction count")
+	}
+	n := binary.LittleEndian.Uint32(cnt[:])
+	if n > 1<<20 {
+		return nil, fmt.Errorf("il: decode: unreasonable instruction count %d", n)
+	}
+	k.Code = make([]Instr, 0, n)
+	for i := uint32(0); i < n; i++ {
+		op, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("il: decode: truncated instruction %d", i)
+		}
+		var rec [16]byte
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			return nil, fmt.Errorf("il: decode: truncated instruction %d", i)
+		}
+		k.Code = append(k.Code, Instr{
+			Op:   Opcode(op),
+			Dst:  Reg(int32(binary.LittleEndian.Uint32(rec[0:]))),
+			SrcA: Reg(int32(binary.LittleEndian.Uint32(rec[4:]))),
+			SrcB: Reg(int32(binary.LittleEndian.Uint32(rec[8:]))),
+			Res:  int(int32(binary.LittleEndian.Uint32(rec[12:]))),
+		})
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("il: decode: %d trailing bytes", r.Len())
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("il: decode: %w", err)
+	}
+	return k, nil
+}

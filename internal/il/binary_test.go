@@ -1,0 +1,115 @@
+package il
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	k := chainKernel(5, 12, Pixel, Float4, TextureSpace, TextureSpace)
+	k.Name = "roundtrip"
+	k.NumConsts = 3
+	data, err := EncodeBinary(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, k) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, k)
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		mode := Pixel
+		outSp := TextureSpace
+		if rng.Intn(2) == 1 {
+			mode = Compute
+			outSp = GlobalSpace
+		}
+		inSp := TextureSpace
+		if rng.Intn(2) == 1 {
+			inSp = GlobalSpace
+		}
+		dt := Float
+		if rng.Intn(2) == 1 {
+			dt = Float4
+		}
+		k := chainKernel(1+rng.Intn(20), rng.Intn(50), mode, dt, inSp, outSp)
+		k.Name = "rnd"
+		data, err := EncodeBinary(k)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got, err := DecodeBinary(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, k) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}
+
+func TestBinaryRejectsInvalidKernel(t *testing.T) {
+	k := chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace)
+	k.Code = k.Code[:len(k.Code)-1] // drop the export
+	if _, err := EncodeBinary(k); err == nil {
+		t.Fatal("invalid kernel encoded")
+	}
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	good, err := EncodeBinary(chainKernel(2, 3, Pixel, Float, TextureSpace, TextureSpace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("XXXX"), good[4:]...)},
+		{"truncated header", good[:6]},
+		{"truncated body", good[:len(good)-3]},
+		{"trailing garbage", append(append([]byte{}, good...), 1, 2, 3)},
+	}
+	for _, c := range cases {
+		if _, err := DecodeBinary(c.data); err == nil {
+			t.Errorf("%s: decode accepted corrupt stream", c.name)
+		}
+	}
+	// Corrupt the mode byte.
+	bad := append([]byte{}, good...)
+	bad[4] = 9
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Error("bad shader mode accepted")
+	}
+	// Corrupt an opcode so validation must catch it.
+	bad = append([]byte{}, good...)
+	bad[len(bad)-17] = 200
+	if _, err := DecodeBinary(bad); err == nil {
+		t.Error("bad opcode accepted")
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	k := chainKernel(4, 9, Pixel, Float, GlobalSpace, GlobalSpace)
+	a, err := EncodeBinary(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeBinary(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("encoding is not deterministic")
+	}
+}

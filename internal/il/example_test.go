@@ -1,0 +1,35 @@
+package il_test
+
+import (
+	"fmt"
+
+	"amdgpubench/internal/il"
+)
+
+// ExampleAssemble shows the IL text form of a minimal two-input sum
+// kernel — the shape every micro-benchmark kernel extends.
+func ExampleAssemble() {
+	k := &il.Kernel{
+		Name: "sum2", Mode: il.Pixel, Type: il.Float,
+		NumInputs: 2, NumOutputs: 1,
+		Code: []il.Instr{
+			{Op: il.OpSample, Dst: 0, SrcA: il.NoReg, SrcB: il.NoReg, Res: 0},
+			{Op: il.OpSample, Dst: 1, SrcA: il.NoReg, SrcB: il.NoReg, Res: 1},
+			{Op: il.OpAdd, Dst: 2, SrcA: 0, SrcB: 1, Res: -1},
+			{Op: il.OpExport, Dst: il.NoReg, SrcA: 2, SrcB: il.NoReg, Res: 0},
+		},
+	}
+	fmt.Print(il.Assemble(k))
+	// Output:
+	// il_ps_2_0 ; kernel sum2
+	// dcl_type float
+	// dcl_input_position_interp(linear_noperspective) vWinCoord0
+	// dcl_resource_id(0)_type(2d)_fmt(float)
+	// dcl_resource_id(1)_type(2d)_fmt(float)
+	// dcl_output o0
+	// sample_resource(0) r0, vWinCoord0
+	// sample_resource(1) r1, vWinCoord0
+	// add r2, r0, r1
+	// export o0, r2
+	// end
+}

@@ -1,0 +1,371 @@
+// Package il models AMD's Intermediate Language (IL), the portable kernel
+// language the paper's micro-benchmarks are generated in (Section III).
+// Only the slice of IL the suite needs is modelled: resource declarations,
+// texture sampling, uncached global loads/stores, a handful of scalar ALU
+// operations forming dependency chains, and exports to color buffers.
+//
+// Kernels are single-assignment: every temporary register rN is written by
+// exactly one instruction. The paper's generated kernels (Figs. 3 and 6)
+// have this form naturally, and it keeps liveness analysis in the IL->ISA
+// compiler exact rather than approximate.
+package il
+
+import "fmt"
+
+// DataType is the element type of a kernel's inputs and outputs. The paper
+// runs every micro-benchmark for both float and float4; the dependency
+// chain prevents VLIW packing, so the ALU instruction count is the same
+// for both, but fetch and store traffic scale with the element size.
+type DataType int
+
+const (
+	// Float is a 32-bit scalar element.
+	Float DataType = iota
+	// Float4 is a 128-bit 4-vector element, one full GPR per value.
+	Float4
+)
+
+// Bytes returns the element size in bytes.
+func (d DataType) Bytes() int {
+	if d == Float4 {
+		return 16
+	}
+	return 4
+}
+
+// Lanes returns the number of 32-bit lanes in the element.
+func (d DataType) Lanes() int {
+	if d == Float4 {
+		return 4
+	}
+	return 1
+}
+
+// String returns "float" or "float4".
+func (d DataType) String() string {
+	if d == Float4 {
+		return "float4"
+	}
+	return "float"
+}
+
+// ShaderMode selects pixel shader or compute shader execution. Pixel mode
+// walks the domain in the rasterizer's tiled order and may export to color
+// buffers (streaming stores); compute mode is linear, the programmer picks
+// the block shape, and only global memory writes are available.
+type ShaderMode int
+
+const (
+	// Pixel shader mode.
+	Pixel ShaderMode = iota
+	// Compute shader mode.
+	Compute
+)
+
+// String returns "pixel" or "compute".
+func (m ShaderMode) String() string {
+	if m == Compute {
+		return "compute"
+	}
+	return "pixel"
+}
+
+// MemSpace says where a kernel's inputs come from or outputs go to.
+type MemSpace int
+
+const (
+	// TextureSpace reads inputs through the texture units and L1 caches,
+	// or writes outputs as streaming stores to color buffers.
+	TextureSpace MemSpace = iota
+	// GlobalSpace reads or writes uncached global memory.
+	GlobalSpace
+)
+
+// String returns "texture" or "global".
+func (s MemSpace) String() string {
+	if s == GlobalSpace {
+		return "global"
+	}
+	return "texture"
+}
+
+// Opcode enumerates the IL instructions the suite generates.
+type Opcode int
+
+const (
+	// OpSample fetches one element of input resource Res at the thread's
+	// domain position into Dst (texture path).
+	OpSample Opcode = iota
+	// OpGlobalLoad reads one element of input buffer Res at the thread's
+	// linear index into Dst (uncached global path).
+	OpGlobalLoad
+	// OpAdd computes Dst = SrcA + SrcB.
+	OpAdd
+	// OpSub computes Dst = SrcA - SrcB.
+	OpSub
+	// OpMul computes Dst = SrcA * SrcB.
+	OpMul
+	// OpMov copies SrcA to Dst.
+	OpMov
+	// OpRcp computes Dst = 1 / SrcA. Transcendental: executes only on the
+	// t stream core of a thread processor (one scalar lane per bundle).
+	OpRcp
+	// OpRsq computes Dst = 1 / sqrt(SrcA). Transcendental, like OpRcp.
+	OpRsq
+	// OpAddC computes Dst = SrcA + cb0[Res]: the second operand comes from
+	// the constant buffer (Res holds the element index). Constants occupy
+	// no general purpose registers and cause no fetch traffic.
+	OpAddC
+	// OpMulC computes Dst = SrcA * cb0[Res].
+	OpMulC
+	// OpExport writes SrcA to color buffer Res (streaming store; pixel
+	// shader mode only).
+	OpExport
+	// OpGlobalStore writes SrcA to output buffer Res at the thread's
+	// linear index (uncached global path).
+	OpGlobalStore
+)
+
+var opNames = map[Opcode]string{
+	OpSample:      "sample",
+	OpGlobalLoad:  "gload",
+	OpAdd:         "add",
+	OpSub:         "sub",
+	OpMul:         "mul",
+	OpMov:         "mov",
+	OpRcp:         "rcp",
+	OpRsq:         "rsq",
+	OpAddC:        "addc",
+	OpMulC:        "mulc",
+	OpExport:      "export",
+	OpGlobalStore: "gstore",
+}
+
+// String returns the assembly mnemonic.
+func (o Opcode) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// IsFetch reports whether the opcode reads an input resource.
+func (o Opcode) IsFetch() bool { return o == OpSample || o == OpGlobalLoad }
+
+// IsStore reports whether the opcode writes an output resource.
+func (o Opcode) IsStore() bool { return o == OpExport || o == OpGlobalStore }
+
+// IsALU reports whether the opcode executes on the stream cores.
+func (o Opcode) IsALU() bool {
+	switch o {
+	case OpAdd, OpSub, OpMul, OpMov, OpRcp, OpRsq, OpAddC, OpMulC:
+		return true
+	}
+	return false
+}
+
+// ReadsConst reports whether the opcode's second operand is a constant
+// buffer element (held in Res).
+func (o Opcode) ReadsConst() bool { return o == OpAddC || o == OpMulC }
+
+// IsTrans reports whether the opcode is transcendental and therefore
+// restricted to the t stream core.
+func (o Opcode) IsTrans() bool { return o == OpRcp || o == OpRsq }
+
+// NumSrcs returns how many register source operands the opcode reads.
+func (o Opcode) NumSrcs() int {
+	switch o {
+	case OpAdd, OpSub, OpMul:
+		return 2
+	case OpMov, OpRcp, OpRsq, OpExport, OpGlobalStore, OpAddC, OpMulC:
+		return 1
+	}
+	return 0
+}
+
+// Reg is a virtual temporary register index (r0, r1, ...). The compiler
+// maps these onto physical GPRs, PV forwarding and clause temporaries.
+type Reg int
+
+// String returns the assembly spelling, e.g. "r12".
+func (r Reg) String() string { return fmt.Sprintf("r%d", int(r)) }
+
+// NoReg marks an unused operand slot.
+const NoReg Reg = -1
+
+// Instr is one IL instruction.
+type Instr struct {
+	Op   Opcode
+	Dst  Reg // destination temp; NoReg for stores
+	SrcA Reg // first source temp; NoReg when unused
+	SrcB Reg // second source temp; NoReg when unused
+	Res  int // resource index for sample/gload/export/gstore; -1 otherwise
+}
+
+// String renders the instruction in assembly form.
+func (in Instr) String() string {
+	switch in.Op {
+	case OpSample:
+		return fmt.Sprintf("sample_resource(%d) %s, vWinCoord0", in.Res, in.Dst)
+	case OpGlobalLoad:
+		return fmt.Sprintf("gload_buffer(%d) %s, vTid", in.Res, in.Dst)
+	case OpAdd, OpSub, OpMul:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.SrcA, in.SrcB)
+	case OpMov, OpRcp, OpRsq:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.SrcA)
+	case OpAddC, OpMulC:
+		return fmt.Sprintf("%s %s, %s, cb0[%d]", in.Op, in.Dst, in.SrcA, in.Res)
+	case OpExport:
+		return fmt.Sprintf("export o%d, %s", in.Res, in.SrcA)
+	case OpGlobalStore:
+		return fmt.Sprintf("gstore_buffer(%d) %s, vTid", in.Res, in.SrcA)
+	}
+	return fmt.Sprintf("?%v", in.Op)
+}
+
+// Kernel is a complete IL program plus its interface declarations.
+type Kernel struct {
+	Name string
+	Mode ShaderMode
+	Type DataType
+
+	NumInputs  int      // declared input resources (textures or buffers)
+	NumOutputs int      // declared outputs (color buffers or buffers)
+	InputSpace MemSpace // where inputs are read from
+	OutSpace   MemSpace // where outputs are written to
+	NumConsts  int      // declared constant-buffer elements
+
+	Code []Instr
+}
+
+// Counts summarises the instruction mix of a kernel.
+type Counts struct {
+	Fetch int // sample + gload
+	ALU   int // add + mul + mov
+	Store int // export + gstore
+}
+
+// Counts tallies the kernel's instruction mix.
+func (k *Kernel) Counts() Counts {
+	var c Counts
+	for _, in := range k.Code {
+		switch {
+		case in.Op.IsFetch():
+			c.Fetch++
+		case in.Op.IsALU():
+			c.ALU++
+		case in.Op.IsStore():
+			c.Store++
+		}
+	}
+	return c
+}
+
+// NumTemps returns the number of distinct temporary registers written.
+func (k *Kernel) NumTemps() int {
+	max := -1
+	for _, in := range k.Code {
+		if in.Dst != NoReg && int(in.Dst) > max {
+			max = int(in.Dst)
+		}
+	}
+	return max + 1
+}
+
+// Validate checks that the kernel is well formed: single assignment,
+// no use before definition, resource indices within declared bounds,
+// at least one output written (the paper notes a kernel without an output
+// is optimized away entirely), every declared input used, and memory
+// spaces consistent with the shader mode (no streaming stores in compute
+// mode, which only supports global memory output).
+func (k *Kernel) Validate() error {
+	if k.NumInputs < 0 || k.NumOutputs <= 0 {
+		return fmt.Errorf("il: kernel %q: needs at least one output and non-negative inputs", k.Name)
+	}
+	if k.Mode == Compute && k.OutSpace == TextureSpace {
+		return fmt.Errorf("il: kernel %q: compute shader mode cannot export to color buffers", k.Name)
+	}
+	defined := make([]bool, k.NumTemps())
+	inputUsed := make([]bool, k.NumInputs)
+	outputWritten := make([]bool, k.NumOutputs)
+	use := func(r Reg, i int) error {
+		if r == NoReg {
+			return fmt.Errorf("il: kernel %q instr %d: missing source operand", k.Name, i)
+		}
+		if int(r) >= len(defined) || !defined[r] {
+			return fmt.Errorf("il: kernel %q instr %d: use of %s before definition", k.Name, i, r)
+		}
+		return nil
+	}
+	for i, in := range k.Code {
+		switch in.Op {
+		case OpSample, OpGlobalLoad:
+			if in.Res < 0 || in.Res >= k.NumInputs {
+				return fmt.Errorf("il: kernel %q instr %d: input resource %d out of range [0,%d)", k.Name, i, in.Res, k.NumInputs)
+			}
+			if wantGlobal := in.Op == OpGlobalLoad; wantGlobal != (k.InputSpace == GlobalSpace) {
+				return fmt.Errorf("il: kernel %q instr %d: %s disagrees with declared input space %s", k.Name, i, in.Op, k.InputSpace)
+			}
+			inputUsed[in.Res] = true
+		case OpAdd, OpSub, OpMul:
+			if err := use(in.SrcA, i); err != nil {
+				return err
+			}
+			if err := use(in.SrcB, i); err != nil {
+				return err
+			}
+		case OpMov, OpRcp, OpRsq:
+			if err := use(in.SrcA, i); err != nil {
+				return err
+			}
+			if in.SrcB != NoReg {
+				return fmt.Errorf("il: kernel %q instr %d: %v takes one source", k.Name, i, in.Op)
+			}
+		case OpAddC, OpMulC:
+			if err := use(in.SrcA, i); err != nil {
+				return err
+			}
+			if in.SrcB != NoReg {
+				return fmt.Errorf("il: kernel %q instr %d: %v takes one register source", k.Name, i, in.Op)
+			}
+			if in.Res < 0 || in.Res >= k.NumConsts {
+				return fmt.Errorf("il: kernel %q instr %d: constant cb0[%d] out of range [0,%d)", k.Name, i, in.Res, k.NumConsts)
+			}
+		case OpExport, OpGlobalStore:
+			if in.Res < 0 || in.Res >= k.NumOutputs {
+				return fmt.Errorf("il: kernel %q instr %d: output resource %d out of range [0,%d)", k.Name, i, in.Res, k.NumOutputs)
+			}
+			if wantGlobal := in.Op == OpGlobalStore; wantGlobal != (k.OutSpace == GlobalSpace) {
+				return fmt.Errorf("il: kernel %q instr %d: %s disagrees with declared output space %s", k.Name, i, in.Op, k.OutSpace)
+			}
+			if err := use(in.SrcA, i); err != nil {
+				return err
+			}
+			outputWritten[in.Res] = true
+		default:
+			return fmt.Errorf("il: kernel %q instr %d: unknown opcode %v", k.Name, i, in.Op)
+		}
+		if in.Dst != NoReg {
+			if in.Op.IsStore() {
+				return fmt.Errorf("il: kernel %q instr %d: store with destination register", k.Name, i)
+			}
+			if defined[in.Dst] {
+				return fmt.Errorf("il: kernel %q instr %d: %s assigned twice (kernels are single-assignment)", k.Name, i, in.Dst)
+			}
+			defined[in.Dst] = true
+		} else if !in.Op.IsStore() {
+			return fmt.Errorf("il: kernel %q instr %d: %v needs a destination", k.Name, i, in.Op)
+		}
+	}
+	for res, used := range inputUsed {
+		if !used {
+			return fmt.Errorf("il: kernel %q: input %d declared but never sampled (the CAL compiler would eliminate it)", k.Name, res)
+		}
+	}
+	for res, w := range outputWritten {
+		if !w {
+			return fmt.Errorf("il: kernel %q: output %d never written (kernel would be optimized away)", k.Name, res)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package il
+
+import (
+	"strings"
+	"testing"
+)
+
+// chainKernel builds the paper's generic dependency-chain kernel (Fig. 3)
+// directly: sample all inputs, fold them into a chain of adds, continue the
+// chain for extra ALU ops, export the tail.
+func chainKernel(inputs, extraALU int, mode ShaderMode, dt DataType, inSpace, outSpace MemSpace) *Kernel {
+	k := &Kernel{
+		Name: "chain", Mode: mode, Type: dt,
+		NumInputs: inputs, NumOutputs: 1,
+		InputSpace: inSpace, OutSpace: outSpace,
+	}
+	fetchOp := OpSample
+	if inSpace == GlobalSpace {
+		fetchOp = OpGlobalLoad
+	}
+	r := Reg(0)
+	for i := 0; i < inputs; i++ {
+		k.Code = append(k.Code, Instr{Op: fetchOp, Dst: r, SrcA: NoReg, SrcB: NoReg, Res: i})
+		r++
+	}
+	// Fold inputs.
+	acc := Reg(0)
+	for i := 1; i < inputs; i++ {
+		k.Code = append(k.Code, Instr{Op: OpAdd, Dst: r, SrcA: acc, SrcB: Reg(i), Res: -1})
+		acc = r
+		r++
+	}
+	prev := acc
+	prev2 := acc
+	if inputs >= 2 {
+		prev2 = acc - 1
+	}
+	for i := 0; i < extraALU; i++ {
+		k.Code = append(k.Code, Instr{Op: OpAdd, Dst: r, SrcA: prev, SrcB: prev2, Res: -1})
+		prev2 = prev
+		prev = r
+		r++
+	}
+	storeOp := OpExport
+	if outSpace == GlobalSpace {
+		storeOp = OpGlobalStore
+	}
+	k.Code = append(k.Code, Instr{Op: storeOp, Dst: NoReg, SrcA: prev, SrcB: NoReg, Res: 0})
+	return k
+}
+
+func TestDataType(t *testing.T) {
+	if Float.Bytes() != 4 || Float4.Bytes() != 16 {
+		t.Error("element sizes wrong")
+	}
+	if Float.Lanes() != 1 || Float4.Lanes() != 4 {
+		t.Error("lane counts wrong")
+	}
+	if Float.String() != "float" || Float4.String() != "float4" {
+		t.Error("names wrong")
+	}
+}
+
+func TestModeAndSpaceNames(t *testing.T) {
+	if Pixel.String() != "pixel" || Compute.String() != "compute" {
+		t.Error("shader mode names wrong")
+	}
+	if TextureSpace.String() != "texture" || GlobalSpace.String() != "global" {
+		t.Error("memory space names wrong")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	k := chainKernel(4, 5, Pixel, Float, TextureSpace, TextureSpace)
+	c := k.Counts()
+	if c.Fetch != 4 {
+		t.Errorf("Fetch = %d, want 4", c.Fetch)
+	}
+	if c.ALU != 3+5 { // 3 folds + 5 chain ops
+		t.Errorf("ALU = %d, want 8", c.ALU)
+	}
+	if c.Store != 1 {
+		t.Errorf("Store = %d, want 1", c.Store)
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	cases := []*Kernel{
+		chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace),
+		chainKernel(8, 20, Pixel, Float4, TextureSpace, TextureSpace),
+		chainKernel(8, 20, Pixel, Float, GlobalSpace, TextureSpace),
+		chainKernel(8, 20, Pixel, Float, GlobalSpace, GlobalSpace),
+		chainKernel(16, 4, Compute, Float4, TextureSpace, GlobalSpace),
+		chainKernel(16, 4, Compute, Float, GlobalSpace, GlobalSpace),
+	}
+	for i, k := range cases {
+		if err := k.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRejectsComputeStreamingStore(t *testing.T) {
+	// The paper: compute shader mode does not support streaming stores,
+	// only global memory output.
+	k := chainKernel(2, 0, Compute, Float, TextureSpace, TextureSpace)
+	if err := k.Validate(); err == nil {
+		t.Fatal("compute-mode color buffer export accepted")
+	}
+}
+
+func TestValidateRejectsDoubleAssignment(t *testing.T) {
+	k := chainKernel(2, 2, Pixel, Float, TextureSpace, TextureSpace)
+	k.Code[2].Dst = Reg(0) // clobber an input register
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "assigned twice") {
+		t.Fatalf("double assignment accepted (err=%v)", err)
+	}
+}
+
+func TestValidateRejectsUseBeforeDef(t *testing.T) {
+	k := &Kernel{
+		Name: "bad", NumInputs: 1, NumOutputs: 1,
+		Code: []Instr{
+			{Op: OpSample, Dst: 0, SrcA: NoReg, SrcB: NoReg, Res: 0},
+			{Op: OpAdd, Dst: 1, SrcA: 0, SrcB: 5, Res: -1},
+			{Op: OpExport, Dst: NoReg, SrcA: 1, SrcB: NoReg, Res: 0},
+		},
+	}
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "before definition") {
+		t.Fatalf("use before def accepted (err=%v)", err)
+	}
+}
+
+func TestValidateRejectsUnusedInput(t *testing.T) {
+	// The paper: every declared and sampled input has to be used or the
+	// compiler optimizes it out; we enforce that it is at least sampled.
+	k := chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace)
+	k.NumInputs = 3
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "never sampled") {
+		t.Fatalf("unused input accepted (err=%v)", err)
+	}
+}
+
+func TestValidateRejectsNoOutput(t *testing.T) {
+	// A kernel has to have an output to be valid, otherwise the compiler
+	// optimizes the kernel away.
+	k := chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace)
+	k.Code = k.Code[:len(k.Code)-1]
+	if err := k.Validate(); err == nil {
+		t.Fatal("output-less kernel accepted")
+	}
+}
+
+func TestValidateRejectsBadResourceIndex(t *testing.T) {
+	k := chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace)
+	k.Code[0].Res = 7
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad input index accepted (err=%v)", err)
+	}
+	k2 := chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace)
+	k2.Code[len(k2.Code)-1].Res = 3
+	if err := k2.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("bad output index accepted (err=%v)", err)
+	}
+}
+
+func TestValidateRejectsSpaceMismatch(t *testing.T) {
+	k := chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace)
+	k.InputSpace = GlobalSpace // but code samples textures
+	if err := k.Validate(); err == nil {
+		t.Fatal("sample against global input space accepted")
+	}
+}
+
+func TestNumTemps(t *testing.T) {
+	k := chainKernel(3, 2, Pixel, Float, TextureSpace, TextureSpace)
+	// 3 samples + 2 folds + 2 chain ops = temps r0..r6.
+	if got := k.NumTemps(); got != 7 {
+		t.Errorf("NumTemps = %d, want 7", got)
+	}
+}
+
+func TestInstrStrings(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpSample, Dst: 1, SrcA: NoReg, SrcB: NoReg, Res: 2}, "sample_resource(2) r1, vWinCoord0"},
+		{Instr{Op: OpGlobalLoad, Dst: 0, SrcA: NoReg, SrcB: NoReg, Res: 0}, "gload_buffer(0) r0, vTid"},
+		{Instr{Op: OpAdd, Dst: 2, SrcA: 0, SrcB: 1, Res: -1}, "add r2, r0, r1"},
+		{Instr{Op: OpMul, Dst: 2, SrcA: 0, SrcB: 1, Res: -1}, "mul r2, r0, r1"},
+		{Instr{Op: OpMov, Dst: 2, SrcA: 0, Res: -1}, "mov r2, r0"},
+		{Instr{Op: OpExport, Dst: NoReg, SrcA: 3, SrcB: NoReg, Res: 0}, "export o0, r3"},
+		{Instr{Op: OpGlobalStore, Dst: NoReg, SrcA: 3, SrcB: NoReg, Res: 1}, "gstore_buffer(1) r3, vTid"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestOpcodeClassification(t *testing.T) {
+	fetches := []Opcode{OpSample, OpGlobalLoad}
+	alus := []Opcode{OpAdd, OpMul, OpMov}
+	stores := []Opcode{OpExport, OpGlobalStore}
+	for _, o := range fetches {
+		if !o.IsFetch() || o.IsALU() || o.IsStore() {
+			t.Errorf("%v misclassified", o)
+		}
+	}
+	for _, o := range alus {
+		if o.IsFetch() || !o.IsALU() || o.IsStore() {
+			t.Errorf("%v misclassified", o)
+		}
+	}
+	for _, o := range stores {
+		if o.IsFetch() || o.IsALU() || !o.IsStore() {
+			t.Errorf("%v misclassified", o)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package il
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAssembleContainsDeclarations(t *testing.T) {
+	k := chainKernel(3, 2, Pixel, Float4, TextureSpace, TextureSpace)
+	k.NumConsts = 2
+	asm := Assemble(k)
+	for _, want := range []string{
+		"il_ps_2_0",
+		"dcl_type float4",
+		"dcl_input_position",
+		"dcl_resource_id(0)",
+		"dcl_resource_id(2)",
+		"dcl_output o0",
+		"dcl_cb cb0[2]",
+		"sample_resource(0) r0, vWinCoord0",
+		"export o0, r",
+		"end",
+	} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("assembly missing %q:\n%s", want, asm)
+		}
+	}
+}
+
+func TestAssembleComputeHeader(t *testing.T) {
+	k := chainKernel(2, 0, Compute, Float, TextureSpace, GlobalSpace)
+	asm := Assemble(k)
+	if !strings.Contains(asm, "il_cs_2_0") {
+		t.Error("compute kernel missing il_cs header")
+	}
+	if !strings.Contains(asm, "dcl_thread_id vTid") {
+		t.Error("compute kernel missing thread id declaration")
+	}
+	if !strings.Contains(asm, "gstore_buffer(0)") {
+		t.Error("compute kernel missing global store")
+	}
+}
+
+func roundTrip(t *testing.T, k *Kernel) *Kernel {
+	t.Helper()
+	asm := Assemble(k)
+	got, err := Parse(asm)
+	if err != nil {
+		t.Fatalf("Parse failed: %v\nsource:\n%s", err, asm)
+	}
+	return got
+}
+
+func TestRoundTripVariants(t *testing.T) {
+	variants := []*Kernel{
+		chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace),
+		chainKernel(8, 31, Pixel, Float4, TextureSpace, TextureSpace),
+		chainKernel(8, 31, Pixel, Float4, GlobalSpace, TextureSpace),
+		chainKernel(8, 31, Pixel, Float, TextureSpace, GlobalSpace),
+		chainKernel(5, 3, Pixel, Float, GlobalSpace, GlobalSpace),
+		chainKernel(16, 64, Compute, Float4, TextureSpace, GlobalSpace),
+		chainKernel(16, 64, Compute, Float, GlobalSpace, GlobalSpace),
+	}
+	for i, k := range variants {
+		k.Name = "chain"
+		got := roundTrip(t, k)
+		if got.Mode != k.Mode || got.Type != k.Type {
+			t.Errorf("variant %d: mode/type mismatch: got %v/%v want %v/%v", i, got.Mode, got.Type, k.Mode, k.Type)
+		}
+		if got.NumInputs != k.NumInputs || got.NumOutputs != k.NumOutputs {
+			t.Errorf("variant %d: i/o counts: got %d/%d want %d/%d", i, got.NumInputs, got.NumOutputs, k.NumInputs, k.NumOutputs)
+		}
+		if got.InputSpace != k.InputSpace || got.OutSpace != k.OutSpace {
+			t.Errorf("variant %d: spaces: got %v/%v want %v/%v", i, got.InputSpace, got.OutSpace, k.InputSpace, k.OutSpace)
+		}
+		if !reflect.DeepEqual(got.Code, k.Code) {
+			t.Errorf("variant %d: code differs\ngot:  %v\nwant: %v", i, got.Code, k.Code)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("variant %d: parsed kernel invalid: %v", i, err)
+		}
+	}
+}
+
+// TestRoundTripRandom is a property test: random valid chain kernels must
+// survive Assemble -> Parse with identical structure.
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		inputs := 1 + rng.Intn(32)
+		extra := rng.Intn(100)
+		mode := Pixel
+		if rng.Intn(2) == 1 {
+			mode = Compute
+		}
+		dt := Float
+		if rng.Intn(2) == 1 {
+			dt = Float4
+		}
+		inSp := TextureSpace
+		if rng.Intn(2) == 1 {
+			inSp = GlobalSpace
+		}
+		outSp := TextureSpace
+		if mode == Compute || rng.Intn(2) == 1 {
+			outSp = GlobalSpace
+		}
+		k := chainKernel(inputs, extra, mode, dt, inSp, outSp)
+		if err := k.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid kernel: %v", trial, err)
+		}
+		got := roundTrip(t, k)
+		if !reflect.DeepEqual(got.Code, k.Code) ||
+			got.NumInputs != k.NumInputs || got.NumOutputs != k.NumOutputs ||
+			got.InputSpace != k.InputSpace || got.OutSpace != k.OutSpace ||
+			got.Mode != k.Mode || got.Type != k.Type {
+			t.Fatalf("trial %d: round trip mismatch (inputs=%d extra=%d mode=%v dt=%v in=%v out=%v)",
+				trial, inputs, extra, mode, dt, inSp, outSp)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"no header", "add r2, r0, r1\nend\n"},
+		{"no end", "il_ps_2_0\n"},
+		{"duplicate header", "il_ps_2_0\nil_ps_2_0\nend\n"},
+		{"content after end", "il_ps_2_0\nend\nadd r2, r0, r1\n"},
+		{"bad type", "il_ps_2_0\ndcl_type float8\nend\n"},
+		{"bad instruction", "il_ps_2_0\nfrobnicate r0\nend\n"},
+		{"bad register", "il_ps_2_0\nadd rX, r0, r1\nend\n"},
+		{"short add", "il_ps_2_0\nadd r2, r0\nend\n"},
+		{"bad export target", "il_ps_2_0\nexport r0, r1\nend\n"},
+		{"bad cb", "il_ps_2_0\ndcl_cb cb0[x]\nend\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: Parse accepted malformed input", c.name)
+		}
+	}
+}
+
+func TestParseKernelName(t *testing.T) {
+	k := chainKernel(2, 1, Pixel, Float, TextureSpace, TextureSpace)
+	k.Name = "alu_fetch_r2.0"
+	got := roundTrip(t, k)
+	if got.Name != k.Name {
+		t.Errorf("name = %q, want %q", got.Name, k.Name)
+	}
+}
+
+func TestRoundTripConstOps(t *testing.T) {
+	k := chainKernel(2, 0, Pixel, Float, TextureSpace, TextureSpace)
+	k.NumConsts = 4
+	// Splice a constant op into the chain before the export.
+	exp := k.Code[len(k.Code)-1]
+	tail := k.Code[len(k.Code)-2].Dst
+	k.Code = append(k.Code[:len(k.Code)-1],
+		Instr{Op: OpAddC, Dst: tail + 1, SrcA: tail, SrcB: NoReg, Res: 3},
+		Instr{Op: OpMulC, Dst: tail + 2, SrcA: tail + 1, SrcB: NoReg, Res: 0},
+		Instr{Op: exp.Op, Dst: NoReg, SrcA: tail + 2, SrcB: NoReg, Res: 0},
+	)
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	asm := Assemble(k)
+	if !strings.Contains(asm, "addc") || !strings.Contains(asm, "cb0[3]") {
+		t.Fatalf("assembly missing constant ops:\n%s", asm)
+	}
+	got := roundTrip(t, k)
+	if !reflect.DeepEqual(got.Code, k.Code) {
+		t.Fatalf("constant ops did not round trip:\ngot  %v\nwant %v", got.Code, k.Code)
+	}
+}

@@ -1,0 +1,52 @@
+package ilc
+
+import (
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/isa"
+	"amdgpubench/internal/kerngen"
+)
+
+// TestFig2GoldenDisassembly pins the exact disassembly of the paper's
+// Fig. 2 reproduction kernel. Any compiler change that moves clause
+// formation, packing, forwarding or register allocation shows up here as
+// a diff to review rather than a silent drift.
+func TestFig2GoldenDisassembly(t *testing.T) {
+	k, err := kerngen.Generic(kerngen.Params{
+		Name: "fig2", Mode: il.Pixel, Type: il.Float4,
+		Inputs: 3, Outputs: 1, ALUOps: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compile(k, device.Lookup(device.RV770))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `; -------- Disassembly: fig2 (pixel, float4) --------
+00 TEX: ADDR(16) CNT(3) VALID_PIX
+     0  SAMPLE R1, R0.xyxx, t0, s0  UNNORM(XYZW)
+     1  SAMPLE R2, R0.xyxx, t1, s0  UNNORM(XYZW)
+     2  SAMPLE R0, R0.xyxx, t2, s0  UNNORM(XYZW)
+01 ALU: ADDR(22) CNT(3)
+     3 x: ADD  T0.x, R1.x, R2.x
+       y: ADD  T0.y, R1.y, R2.y
+       z: ADD  T0.z, R1.z, R2.z
+       w: ADD  T0.w, R1.w, R2.w
+     4 x: ADD  ____, T0.x, R0.x
+       y: ADD  ____, T0.y, R0.y
+       z: ADD  ____, T0.z, R0.z
+       w: ADD  ____, T0.w, R0.w
+     5 x: ADD  R0.x, PV.x, T0.x
+       y: ADD  R0.y, PV.y, T0.y
+       z: ADD  R0.z, PV.z, T0.z
+       w: ADD  R0.w, PV.w, T0.w
+02 EXP_DONE: PIX0, R0
+END_OF_PROGRAM
+`
+	if got := isa.Disassemble(p); got != golden {
+		t.Errorf("Fig. 2 disassembly drifted:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

@@ -1,0 +1,295 @@
+// Package report renders the suite's results the way the paper presents
+// them: one figure per experiment with one series per (card, mode, data
+// type) combination, plus plain tables. Output formats are CSV (for
+// external plotting) and a terminal ASCII plot that shows the shapes the
+// paper's figures argue about — plateaus, crossovers and orderings.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a measurement.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Figure is one experiment's result set.
+type Figure struct {
+	ID     string // e.g. "fig7"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a series and returns a pointer for incremental use.
+func (f *Figure) AddSeries(label string) *Series {
+	f.Series = append(f.Series, Series{Label: label})
+	return &f.Series[len(f.Series)-1]
+}
+
+// CSV renders the figure as x,series1,series2,... rows. Series are aligned
+// by X value; missing values are left empty.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", f.ID, f.Title)
+	b.WriteString(f.XLabel)
+	for _, s := range f.Series {
+		b.WriteString(",")
+		b.WriteString(strings.ReplaceAll(s.Label, ",", ";"))
+	}
+	b.WriteString("\n")
+
+	xs := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	for _, x := range sorted {
+		fmt.Fprintf(&b, "%g", x)
+		for _, s := range f.Series {
+			val, ok := lookup(s, x)
+			if ok {
+				fmt.Fprintf(&b, ",%.6g", val)
+			} else {
+				b.WriteString(",")
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func lookup(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// plotGlyphs are assigned to series in order.
+var plotGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&', '$', '~', '^', '='}
+
+// ASCIIPlot renders the figure as a width x height character plot with a
+// legend. It is intentionally gnuplot-flavoured, like the paper's figures.
+func (f *Figure) ASCIIPlot(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := 0.0, math.Inf(-1)
+	empty := true
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			empty = false
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	if empty {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := plotGlyphs[si%len(plotGlyphs)]
+		for _, p := range s.Points {
+			cx := int((p.X - minX) / (maxX - minX) * float64(width-1))
+			cy := int((p.Y - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.2f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%7.2f ", minY)
+		}
+		b.WriteString(label)
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("        +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "        %-10.3g%*s%.3g  (%s)\n", minX, width-10, "", maxX, f.XLabel)
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "        %c %s\n", plotGlyphs[si%len(plotGlyphs)], s.Label)
+	}
+	return b.String()
+}
+
+// GnuplotScript renders a gnuplot script that plots the figure from its
+// CSV (as written by CSV()) in the visual style of the paper's figures:
+// every series as lines+points against the first column.
+func (f *Figure) GnuplotScript(dataFile string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# gnuplot script for %s\n", f.ID)
+	b.WriteString("set datafile separator ','\n")
+	fmt.Fprintf(&b, "set title %q\n", f.Title)
+	fmt.Fprintf(&b, "set xlabel %q\n", f.XLabel)
+	fmt.Fprintf(&b, "set ylabel %q\n", f.YLabel)
+	b.WriteString("set key outside right\n")
+	b.WriteString("set grid\n")
+	b.WriteString("plot \\\n")
+	for i, s := range f.Series {
+		sep := ", \\\n"
+		if i == len(f.Series)-1 {
+			sep = "\n"
+		}
+		fmt.Fprintf(&b, "  %q using 1:%d with linespoints title %q%s",
+			dataFile, i+2, s.Label, sep)
+	}
+	return b.String()
+}
+
+// Table is a plain text table, used for Table I and the SKA-style reports.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends one row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Crossover returns the first X at which the series' Y rises more than
+// tol above its minimum over the preceding plateau — the "bound switches
+// from fetch to ALU" point the paper reads off its ALU:Fetch figures.
+// Returns NaN when the series never leaves its plateau.
+func Crossover(s Series, tol float64) float64 {
+	if len(s.Points) < 2 {
+		return math.NaN()
+	}
+	plateau := s.Points[0].Y
+	for _, p := range s.Points {
+		if p.Y < plateau {
+			plateau = p.Y
+		}
+		if p.Y > plateau*(1+tol) {
+			return p.X
+		}
+	}
+	return math.NaN()
+}
+
+// LinearFit returns slope, intercept and R^2 of a least-squares fit —
+// used to assert the latency figures' linearity.
+func LinearFit(s Series) (slope, intercept, r2 float64) {
+	n := float64(len(s.Points))
+	if n < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for _, p := range s.Points {
+		sx += p.X
+		sy += p.Y
+		sxx += p.X * p.X
+		sxy += p.X * p.Y
+		syy += p.Y * p.Y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, 0
+	}
+	slope = (n*sxy - sx*sy) / den
+	intercept = (sy - slope*sx) / n
+	ssTot := syy - sy*sy/n
+	if ssTot == 0 {
+		return slope, intercept, 1
+	}
+	var ssRes float64
+	for _, p := range s.Points {
+		d := p.Y - (slope*p.X + intercept)
+		ssRes += d * d
+	}
+	r2 = 1 - ssRes/ssTot
+	return slope, intercept, r2
+}

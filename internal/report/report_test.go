@@ -1,0 +1,178 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleFigure() *Figure {
+	f := &Figure{ID: "fig0", Title: "demo", XLabel: "x", YLabel: "seconds"}
+	a := f.AddSeries("4870 float")
+	a.Add(1, 10)
+	a.Add(2, 10)
+	a.Add(3, 15)
+	b := f.AddSeries("5870 float")
+	b.Add(1, 8)
+	b.Add(3, 12)
+	return f
+}
+
+func TestCSVShape(t *testing.T) {
+	csv := sampleFigure().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 { // comment, header, 3 x-values
+		t.Fatalf("CSV has %d lines:\n%s", len(lines), csv)
+	}
+	if lines[1] != "x,4870 float,5870 float" {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if lines[2] != "1,10,8" {
+		t.Fatalf("row 1 = %q", lines[2])
+	}
+	if lines[3] != "2,10," { // series B has no x=2 point
+		t.Fatalf("row 2 = %q", lines[3])
+	}
+}
+
+func TestCSVEscapesCommas(t *testing.T) {
+	f := &Figure{ID: "f", XLabel: "x"}
+	s := f.AddSeries("a,b")
+	s.Add(1, 1)
+	if !strings.Contains(f.CSV(), "a;b") {
+		t.Error("comma in label not escaped")
+	}
+}
+
+func TestASCIIPlotContainsGlyphsAndLegend(t *testing.T) {
+	p := sampleFigure().ASCIIPlot(40, 10)
+	if !strings.Contains(p, "*") || !strings.Contains(p, "+") {
+		t.Errorf("plot missing series glyphs:\n%s", p)
+	}
+	if !strings.Contains(p, "4870 float") || !strings.Contains(p, "5870 float") {
+		t.Errorf("plot missing legend:\n%s", p)
+	}
+	if !strings.Contains(p, "fig0") {
+		t.Errorf("plot missing figure id:\n%s", p)
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	f := &Figure{ID: "e", Title: "empty"}
+	if !strings.Contains(f.ASCIIPlot(40, 10), "(no data)") {
+		t.Error("empty figure should say so")
+	}
+}
+
+func TestASCIIPlotClampsTinyDimensions(t *testing.T) {
+	p := sampleFigure().ASCIIPlot(1, 1)
+	if len(p) == 0 {
+		t.Error("tiny plot empty")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := &Table{
+		Title:  "Table I",
+		Header: []string{"GPU", "ALUs", "SIMDs"},
+	}
+	tb.AddRow("RV670", "320", "4")
+	tb.AddRow("RV770", "800", "10")
+	out := tb.Format()
+	if !strings.Contains(out, "Table I") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "GPU") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "RV670") {
+		t.Errorf("row line = %q", lines[3])
+	}
+	// Columns aligned: "ALUs" column starts at the same offset everywhere.
+	if strings.Index(lines[1], "ALUs") != strings.Index(lines[3], "320") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	var s Series
+	for _, p := range []Point{{0.5, 10}, {1, 10}, {1.5, 10.1}, {2, 13}, {3, 20}} {
+		s.Points = append(s.Points, p)
+	}
+	if got := Crossover(s, 0.1); got != 2 {
+		t.Fatalf("crossover = %v, want 2", got)
+	}
+	flat := Series{Points: []Point{{1, 5}, {2, 5}, {3, 5}}}
+	if !math.IsNaN(Crossover(flat, 0.1)) {
+		t.Fatal("flat series should have no crossover")
+	}
+	if !math.IsNaN(Crossover(Series{}, 0.1)) {
+		t.Fatal("empty series should have no crossover")
+	}
+}
+
+func TestCrossoverIgnoresDescentToPlateau(t *testing.T) {
+	// A series that descends first (latency warmup) then plateaus then
+	// rises: crossover measured against the minimum plateau.
+	s := Series{Points: []Point{{1, 20}, {2, 10}, {3, 10}, {4, 10.2}, {5, 14}}}
+	if got := Crossover(s, 0.1); got != 5 {
+		t.Fatalf("crossover = %v, want 5", got)
+	}
+}
+
+func TestLinearFit(t *testing.T) {
+	var s Series
+	for x := 1.0; x <= 10; x++ {
+		s.Add(x, 3*x+2)
+	}
+	slope, intercept, r2 := LinearFit(s)
+	if math.Abs(slope-3) > 1e-9 || math.Abs(intercept-2) > 1e-9 {
+		t.Fatalf("fit = %v x + %v", slope, intercept)
+	}
+	if r2 < 0.999999 {
+		t.Fatalf("r2 = %v for perfect line", r2)
+	}
+	if _, _, r2 := LinearFit(Series{Points: []Point{{1, 1}}}); r2 != 0 {
+		t.Fatal("single-point fit should be degenerate")
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	var s Series
+	for x := 1.0; x <= 20; x++ {
+		noise := 0.0
+		if int(x)%2 == 0 {
+			noise = 0.5
+		}
+		s.Add(x, 2*x+noise)
+	}
+	slope, _, r2 := LinearFit(s)
+	if math.Abs(slope-2) > 0.1 {
+		t.Fatalf("slope = %v, want about 2", slope)
+	}
+	if r2 < 0.99 {
+		t.Fatalf("r2 = %v, want > 0.99", r2)
+	}
+}
+
+func TestGnuplotScript(t *testing.T) {
+	gp := sampleFigure().GnuplotScript("fig0.csv")
+	for _, want := range []string{
+		`set title "demo"`,
+		`set xlabel "x"`,
+		"set datafile separator ','",
+		`"fig0.csv" using 1:2 with linespoints title "4870 float"`,
+		`"fig0.csv" using 1:3 with linespoints title "5870 float"`,
+	} {
+		if !strings.Contains(gp, want) {
+			t.Errorf("gnuplot script missing %q:\n%s", want, gp)
+		}
+	}
+	if strings.Count(gp, "linespoints") != 2 {
+		t.Errorf("series count wrong in script:\n%s", gp)
+	}
+}

@@ -1,0 +1,424 @@
+// Package sim is the timing simulator for compiled kernels on the modelled
+// AMD GPUs. It executes the clause schedule of a resident wavefront set on
+// one SIMD engine's resources — the ALU pipeline, the texture pipeline,
+// the per-SIMD share of the DRAM system, and the export path — with an
+// event-driven loop in which wavefronts hide latency by clause switching,
+// exactly the mechanism Section II of the paper describes. Whole-domain,
+// whole-experiment times come from replicating the steady-state batch
+// across SIMD engines, dispatch batches and the suite's 5000 kernel
+// iterations.
+//
+// The three bottlenecks the paper's micro-benchmarks classify (ALU
+// throughput, texture fetch, memory access) are emergent here: each is a
+// resource, and whichever pipe saturates paces the batch.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"amdgpubench/internal/cache"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/isa"
+	"amdgpubench/internal/mem"
+	"amdgpubench/internal/raster"
+)
+
+// DefaultIterations is the paper's repetition count: every kernel of every
+// micro-benchmark was executed 5000 times for stable timings.
+const DefaultIterations = 5000
+
+// launchOverheadCycles approximates per-invocation driver/dispatch cost;
+// the paper notes kernel invocation time exceeds the execution time of a
+// domain-of-one kernel, which is why realistic domains are used.
+const launchOverheadCycles = 20000
+
+// Ablations switches individual hardware mechanisms off so their
+// contribution to the paper's results can be quantified (DESIGN.md §7).
+type Ablations struct {
+	// SingleWavefront caps residency at one wavefront per SIMD: no clause
+	// switching, no latency hiding — the mechanism behind Fig. 16.
+	SingleWavefront bool
+	// NoBurstWrites makes every global/stream write pay a DRAM row
+	// activation per cache-line-sized chunk instead of streaming — the
+	// consecutive-address burst facility of Section II-B turned off.
+	NoBurstWrites bool
+	// LinearTextures stores textures row-major instead of tiled, breaking
+	// the match between the rasterizer's walk and the cache.
+	LinearTextures bool
+}
+
+// Config describes one kernel execution experiment.
+type Config struct {
+	Spec  device.Spec
+	Prog  *isa.Program
+	Order raster.Order
+	W, H  int
+	// Iterations is the number of kernel invocations to time; zero means
+	// DefaultIterations.
+	Iterations int
+	// Ablate selectively disables hardware mechanisms.
+	Ablate Ablations
+}
+
+// Counters holds per-resource busy cycles for one steady-state batch.
+type Counters struct {
+	ALU       uint64 // ALU pipeline
+	TexIssue  uint64 // texture unit issue occupancy
+	L2Fill    uint64 // L2 occupancy refilling texture L1 misses
+	TexFill   uint64 // DRAM occupancy refilling texture L2 misses
+	MemGlobal uint64 // DRAM occupancy of uncached global reads and writes
+	Export    uint64 // streaming store (color buffer) path
+}
+
+// Bottleneck is the resource that limits a kernel, the classification the
+// suite exists to produce.
+type Bottleneck int
+
+const (
+	// BottleneckALU means the stream cores pace the kernel.
+	BottleneckALU Bottleneck = iota
+	// BottleneckFetch means the texture fetch path (issue or L1 fill)
+	// paces the kernel.
+	BottleneckFetch
+	// BottleneckMemory means uncached global memory traffic or the store
+	// path paces the kernel.
+	BottleneckMemory
+)
+
+// String names the bottleneck.
+func (b Bottleneck) String() string {
+	switch b {
+	case BottleneckALU:
+		return "ALU"
+	case BottleneckFetch:
+		return "fetch"
+	case BottleneckMemory:
+		return "memory"
+	}
+	return "?"
+}
+
+// Result is the outcome of one simulated experiment.
+type Result struct {
+	Cycles       uint64  // total cycles across all iterations
+	Seconds      float64 // Cycles at the core clock
+	WavesPerSIMD int     // resident wavefronts (GPR-limited occupancy)
+	GPRs         int     // per-thread register footprint
+	TotalWaves   int     // wavefronts covering the domain
+	Batches      int     // dispatch batches per SIMD
+	HitRate      float64 // texture L1 hit rate (0 when no texture fetches)
+	Counters     Counters
+	Bottleneck   Bottleneck
+}
+
+// step is one clause converted to resource costs.
+type step struct {
+	aluOcc  uint64 // ALU pipe occupancy
+	texOcc  uint64 // texture pipe occupancy
+	l2Occ   uint64 // L2 fill occupancy (texture L1 refills)
+	memOcc  uint64 // DRAM occupancy (fill or global traffic)
+	expOcc  uint64 // export path occupancy
+	latency uint64 // additional cycles until dependent clauses may start
+	isFill  bool   // memOcc is texture fill (fetch path) traffic
+}
+
+// Run simulates the configured kernel and returns its timing.
+func Run(cfg Config) (Result, error) {
+	if cfg.Prog == nil {
+		return Result{}, fmt.Errorf("sim: nil program")
+	}
+	if err := cfg.Prog.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.W <= 0 || cfg.H <= 0 {
+		return Result{}, fmt.Errorf("sim: bad domain %dx%d", cfg.W, cfg.H)
+	}
+	if cfg.Prog.Mode != cfg.Order.Mode {
+		return Result{}, fmt.Errorf("sim: program compiled for %s mode but order is %s", cfg.Prog.Mode, cfg.Order)
+	}
+	if cfg.Prog.Mode == il.Compute && !cfg.Spec.SupportsCompute {
+		return Result{}, fmt.Errorf("sim: %s does not support compute shader mode", cfg.Spec.Arch)
+	}
+	iters := cfg.Iterations
+	if iters == 0 {
+		iters = DefaultIterations
+	}
+
+	dram, err := mem.NewDRAM(cfg.Spec)
+	if err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+
+	res := Result{GPRs: cfg.Prog.GPRCount}
+	res.WavesPerSIMD = cfg.Spec.WavefrontsForGPRs(cfg.Prog.GPRCount)
+	if cfg.Ablate.SingleWavefront {
+		res.WavesPerSIMD = 1
+	}
+	res.TotalWaves = cfg.Order.WavefrontCount(cfg.W, cfg.H)
+
+	// Texture-path statistics from the trace-driven cache replay.
+	texFetches, elem := textureFootprint(cfg.Prog)
+	var trace cache.TraceStats
+	if texFetches > 0 {
+		trace, err = cache.Replay(cache.TraceConfig{
+			Spec:          cfg.Spec,
+			Order:         cfg.Order,
+			W:             cfg.W,
+			H:             cfg.H,
+			ElemBytes:     elem,
+			NumInputs:     texFetches,
+			ResidentWaves: res.WavesPerSIMD,
+			LinearLayout:  cfg.Ablate.LinearTextures,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: %w", err)
+		}
+		res.HitRate = trace.HitRate()
+	}
+
+	steps := buildSteps(cfg, dram, trace)
+
+	// Steady-state batch on one SIMD, then replicate.
+	wavesPerSIMDTotal := ceilDiv(res.TotalWaves, cfg.Spec.SIMDEngines)
+	full := wavesPerSIMDTotal / res.WavesPerSIMD
+	rem := wavesPerSIMDTotal % res.WavesPerSIMD
+	res.Batches = full
+	if rem > 0 {
+		res.Batches++
+	}
+
+	makespan, counters := simulateBatch(steps, res.WavesPerSIMD)
+	total := uint64(full) * makespan
+	if rem > 0 {
+		m2, _ := simulateBatch(steps, rem)
+		total += m2
+	}
+	total += launchOverheadCycles
+
+	res.Counters = counters
+	res.Cycles = total * uint64(iters)
+	res.Seconds = float64(res.Cycles) / (float64(cfg.Spec.CoreClockMHz) * 1e6)
+	res.Bottleneck = classify(counters)
+	return res, nil
+}
+
+// textureFootprint returns the number of texture (cached) fetch
+// instructions and the element size of the program's fetches.
+func textureFootprint(p *isa.Program) (n, elemBytes int) {
+	elemBytes = p.Type.Bytes()
+	for i := range p.Clauses {
+		c := &p.Clauses[i]
+		if c.Kind != isa.ClauseTEX {
+			continue
+		}
+		for _, f := range c.Fetches {
+			if !f.Global {
+				n++
+			}
+		}
+	}
+	return n, elemBytes
+}
+
+// buildSteps converts each clause into resource costs.
+func buildSteps(cfg Config, dram *mem.DRAM, trace cache.TraceStats) []step {
+	spec := cfg.Spec
+	// Each thread processor has an odd and an even wavefront slot; with a
+	// single resident wavefront "only half the thread processor is used"
+	// (Section II-A): the ALU pipeline cannot be filled back-to-back.
+	aluPenalty := 1
+	if spec.WavefrontsForGPRs(cfg.Prog.GPRCount) < spec.SlotsPerTP || cfg.Ablate.SingleWavefront {
+		aluPenalty = 2
+	}
+	var steps []step
+	for i := range cfg.Prog.Clauses {
+		c := &cfg.Prog.Clauses[i]
+		var s step
+		switch c.Kind {
+		case isa.ClauseALU:
+			s.aluOcc = uint64(len(c.Bundles) * spec.CyclesPerALUBundle() * aluPenalty)
+		case isa.ClauseTEX:
+			for _, f := range c.Fetches {
+				bytes := spec.WavefrontSize * f.ElemBytes
+				if f.Global {
+					// Uncached global read: address issue through the
+					// texture units, traffic through DRAM.
+					s.texOcc += 4
+					s.memOcc += dram.GlobalReadCycles(bytes)
+					if dram.ReadLatency > s.latency {
+						s.latency = dram.ReadLatency
+					}
+				} else {
+					s.texOcc += uint64(spec.FetchIssueCycles(f.ElemBytes))
+					// L1 refills drain through the L2; the slice the L2
+					// cannot absorb goes to DRAM and pays row activations.
+					s.l2Occ += uint64(trace.MissBytesPerFetch() / float64(spec.L2BytesPerCycle))
+					s.memOcc += dram.TransferCycles(
+						int(trace.DRAMBytesPerFetch()),
+						trace.ActivationsPerFetch())
+					s.isFill = true
+					// A wavefront's TEX clause completes at its slowest
+					// fetch: with 64 threads per fetch the clause all but
+					// certainly contains a miss, so the clause-switching
+					// stall is the miss latency, not the per-access
+					// average.
+					missesPerFetch := 0.0
+					if trace.FetchExecs > 0 {
+						missesPerFetch = float64(trace.Misses) / float64(trace.FetchExecs)
+					}
+					lat := uint64(spec.TexMissLatency)
+					if missesPerFetch < 1 {
+						lat = uint64(missesPerFetch*float64(spec.TexMissLatency) +
+							(1-missesPerFetch)*float64(spec.TexHitLatency))
+					}
+					if lat > s.latency {
+						s.latency = lat
+					}
+				}
+			}
+		case isa.ClauseEXP:
+			for _, e := range c.Exports {
+				bytes := spec.WavefrontSize * e.ElemBytes
+				s.expOcc += uint64(spec.StreamStoreCycles)
+				s.memOcc += writeCycles(dram, bytes, cfg.Ablate.NoBurstWrites)
+			}
+		case isa.ClauseMEM:
+			for _, e := range c.Exports {
+				bytes := spec.WavefrontSize * e.ElemBytes
+				s.memOcc += writeCycles(dram, bytes, cfg.Ablate.NoBurstWrites)
+			}
+		}
+		steps = append(steps, s)
+	}
+	return steps
+}
+
+// writeCycles prices a wavefront's store: bursting at full bandwidth, or,
+// under the no-burst ablation, paying a row activation per 64B chunk.
+func writeCycles(dram *mem.DRAM, bytes int, noBurst bool) uint64 {
+	if noBurst {
+		return dram.ScatteredWriteCycles(bytes, (bytes+63)/64)
+	}
+	return dram.BurstWriteCycles(bytes)
+}
+
+// event is a wavefront becoming ready to issue its next clause.
+type event struct {
+	at     uint64
+	wave   int
+	clause int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int      { return len(h) }
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].wave < h[j].wave
+}
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// simulateBatch runs `waves` wavefronts through the clause steps on one
+// SIMD engine's pipes and returns the makespan and busy counters.
+func simulateBatch(steps []step, waves int) (uint64, Counters) {
+	alu := mem.NewPipe("alu")
+	tex := mem.NewPipe("tex")
+	l2 := mem.NewPipe("l2")
+	dram := mem.NewPipe("mem")
+	exp := mem.NewPipe("export")
+	var fillBusy, globalBusy uint64
+
+	h := make(eventHeap, 0, waves)
+	for w := 0; w < waves; w++ {
+		h = append(h, event{at: 0, wave: w, clause: 0})
+	}
+	heap.Init(&h)
+
+	var makespan uint64
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.clause >= len(steps) {
+			if e.at > makespan {
+				makespan = e.at
+			}
+			continue
+		}
+		s := steps[e.clause]
+		ready := e.at
+		if s.aluOcc > 0 {
+			_, done := alu.Acquire(ready, s.aluOcc)
+			ready = done
+		}
+		if s.texOcc > 0 {
+			_, done := tex.Acquire(ready, s.texOcc)
+			ready = done
+		}
+		if s.l2Occ > 0 {
+			_, done := l2.Acquire(ready, s.l2Occ)
+			ready = done
+		}
+		if s.memOcc > 0 {
+			_, done := dram.Acquire(ready, s.memOcc)
+			ready = done
+			if s.isFill {
+				fillBusy += s.memOcc
+			} else {
+				globalBusy += s.memOcc
+			}
+		}
+		if s.expOcc > 0 {
+			_, done := exp.Acquire(ready, s.expOcc)
+			ready = done
+		}
+		ready += s.latency
+		heap.Push(&h, event{at: ready, wave: e.wave, clause: e.clause + 1})
+	}
+
+	return makespan, Counters{
+		ALU:       alu.Busy(),
+		TexIssue:  tex.Busy(),
+		L2Fill:    l2.Busy(),
+		TexFill:   fillBusy,
+		MemGlobal: globalBusy,
+		Export:    exp.Busy(),
+	}
+}
+
+// classify maps busy counters to the paper's three bottleneck classes. The
+// fetch path is the greater of issue and fill occupancy (they pipeline);
+// memory covers global reads/writes and the store path.
+func classify(c Counters) Bottleneck {
+	fetch := c.TexIssue
+	if c.L2Fill > fetch {
+		fetch = c.L2Fill
+	}
+	if c.TexFill > fetch {
+		fetch = c.TexFill
+	}
+	memory := c.MemGlobal + c.Export
+	switch {
+	case c.ALU >= fetch && c.ALU >= memory:
+		return BottleneckALU
+	case fetch >= memory:
+		return BottleneckFetch
+	default:
+		return BottleneckMemory
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
