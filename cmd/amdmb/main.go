@@ -12,14 +12,25 @@
 //
 // Flags:
 //
-//	-csv        emit CSV instead of ASCII plots
-//	-iters N    kernel iterations per timing (default 5000, the paper's)
-//	-runs       also print per-point run details (GPRs, waves, bottleneck)
+//	-csv               emit CSV instead of ASCII plots
+//	-iters N           kernel iterations per timing (default 5000, the paper's)
+//	-runs              also print per-point run details (GPRs, waves, bottleneck)
+//	-o dir             also write <dir>/<figure>.csv and a matching gnuplot script
+//	-timeout N         per-launch watchdog budget in simulated cycles (0 = default)
+//	-retries N         retry attempts for transient launch failures (default 2)
+//	-checkpoint file   record completed sweep points; re-running resumes from it
+//	-faults plan       arm deterministic fault injection, e.g.
+//	                   'seed=42;hang:prob=0.01;transient:prob=0.05'
+//
+// Exit status: 0 on success, 1 on a fatal error, 2 on usage errors, 3
+// when the sweeps completed but recorded per-point failures (printed in
+// the failure-summary table).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +38,7 @@ import (
 
 	"amdgpubench/internal/core"
 	"amdgpubench/internal/device"
+	"amdgpubench/internal/fault"
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/isa"
@@ -34,12 +46,21 @@ import (
 	"amdgpubench/internal/report"
 )
 
-var (
-	csvOut   = flag.Bool("csv", false, "emit CSV instead of ASCII plots")
-	iters    = flag.Int("iters", 0, "kernel iterations per timing (default 5000)")
-	showRuns = flag.Bool("runs", false, "print per-point run details")
-	outDir   = flag.String("o", "", "also write <dir>/<figure>.csv and a matching gnuplot script")
-)
+// cli carries the parsed flags and output streams so the whole command
+// is runnable (and testable) without touching process globals.
+type cli struct {
+	csv        bool
+	showRuns   bool
+	iters      int
+	outDir     string
+	timeout    uint64
+	retries    int
+	checkpoint string
+	faults     string
+
+	out    io.Writer
+	errOut io.Writer
+}
 
 type experiment struct {
 	name string
@@ -47,76 +68,76 @@ type experiment struct {
 	run  func(s *core.Suite) error
 }
 
-func figExperiment(name, desc string, f func(s *core.Suite) (*report.Figure, []core.Run, error)) experiment {
+func (c *cli) figExperiment(name, desc string, f func(s *core.Suite) (*report.Figure, []core.Run, error)) experiment {
 	return experiment{name: name, desc: desc, run: func(s *core.Suite) error {
 		fig, runs, err := f(s)
 		if err != nil {
 			return err
 		}
-		emitFigure(fig)
-		if *showRuns {
-			emitRuns(runs)
+		if err := c.emitFigure(fig); err != nil {
+			return err
+		}
+		if c.showRuns {
+			c.emitRuns(runs)
 		}
 		return nil
 	}}
 }
 
-func experiments() []experiment {
+func (c *cli) experiments() []experiment {
 	return []experiment{
 		{"table1", "GPU hardware features", func(s *core.Suite) error {
-			fmt.Println(s.HardwareTable().Format())
+			fmt.Fprintln(c.out, s.HardwareTable().Format())
 			return nil
 		}},
 		{"fig2", "example ISA disassembly", func(s *core.Suite) error {
-			return printFig2()
+			return c.printFig2()
 		}},
-		figExperiment("fig7", "ALU:Fetch ratio, texture reads", (*core.Suite).Fig7),
-		figExperiment("fig8", "ALU:Fetch ratio, 4x16 block", (*core.Suite).Fig8),
-		figExperiment("fig9", "ALU:Fetch ratio, global read + stream write", (*core.Suite).Fig9),
-		figExperiment("fig10", "ALU:Fetch ratio, global read + global write", (*core.Suite).Fig10),
-		figExperiment("fig11", "texture fetch latency", (*core.Suite).Fig11),
-		figExperiment("fig12", "global read latency", (*core.Suite).Fig12),
-		figExperiment("fig13", "streaming store latency", (*core.Suite).Fig13),
-		figExperiment("fig14", "global write latency", (*core.Suite).Fig14),
-		figExperiment("fig15a", "domain size, pixel shader", (*core.Suite).Fig15Pixel),
-		figExperiment("fig15b", "domain size, compute shader", (*core.Suite).Fig15Compute),
-		figExperiment("fig16", "register pressure", (*core.Suite).Fig16),
-		figExperiment("fig17", "register pressure, 4x16 block", (*core.Suite).Fig17),
-		figExperiment("clausectl", "clause usage control (flat)", (*core.Suite).ClauseControl),
-		figExperiment("trans", "extension: transcendental vs basic ALU chains", func(s *core.Suite) (*report.Figure, []core.Run, error) {
+		c.figExperiment("fig7", "ALU:Fetch ratio, texture reads", (*core.Suite).Fig7),
+		c.figExperiment("fig8", "ALU:Fetch ratio, 4x16 block", (*core.Suite).Fig8),
+		c.figExperiment("fig9", "ALU:Fetch ratio, global read + stream write", (*core.Suite).Fig9),
+		c.figExperiment("fig10", "ALU:Fetch ratio, global read + global write", (*core.Suite).Fig10),
+		c.figExperiment("fig11", "texture fetch latency", (*core.Suite).Fig11),
+		c.figExperiment("fig12", "global read latency", (*core.Suite).Fig12),
+		c.figExperiment("fig13", "streaming store latency", (*core.Suite).Fig13),
+		c.figExperiment("fig14", "global write latency", (*core.Suite).Fig14),
+		c.figExperiment("fig15a", "domain size, pixel shader", (*core.Suite).Fig15Pixel),
+		c.figExperiment("fig15b", "domain size, compute shader", (*core.Suite).Fig15Compute),
+		c.figExperiment("fig16", "register pressure", (*core.Suite).Fig16),
+		c.figExperiment("fig17", "register pressure, 4x16 block", (*core.Suite).Fig17),
+		c.figExperiment("clausectl", "clause usage control (flat)", (*core.Suite).ClauseControl),
+		c.figExperiment("trans", "extension: transcendental vs basic ALU chains", func(s *core.Suite) (*report.Figure, []core.Run, error) {
 			return s.TransThroughput(core.TransThroughputConfig{Arch: device.RV770})
 		}),
-		figExperiment("blocks", "extension: compute block-size sweep", func(s *core.Suite) (*report.Figure, []core.Run, error) {
+		c.figExperiment("blocks", "extension: compute block-size sweep", func(s *core.Suite) (*report.Figure, []core.Run, error) {
 			return s.BlockSizeSweep(core.BlockSizeConfig{})
 		}),
-		figExperiment("consts", "extension: constant count sweep (flat)", func(s *core.Suite) (*report.Figure, []core.Run, error) {
+		c.figExperiment("consts", "extension: constant count sweep (flat)", func(s *core.Suite) (*report.Figure, []core.Run, error) {
 			return s.ConstantsSweep(core.ConstantsConfig{Arch: device.RV770})
 		}),
-		{"summary", "one-screen paper-vs-measured reproduction digest", runSummary},
+		{"summary", "one-screen paper-vs-measured reproduction digest", c.runSummary},
 		{"ablate", "extension: hardware-mechanism ablation study", func(s *core.Suite) error {
 			res, err := s.AblationStudy()
 			if err != nil {
 				return err
 			}
-			fmt.Println(core.AblationTable(res).Format())
+			fmt.Fprintln(c.out, core.AblationTable(res).Format())
 			return nil
 		}},
 	}
 }
 
-func emitFigure(fig *report.Figure) {
-	if *csvOut {
-		fmt.Print(fig.CSV())
+func (c *cli) emitFigure(fig *report.Figure) error {
+	if c.csv {
+		fmt.Fprint(c.out, fig.CSV())
 	} else {
-		fmt.Print(fig.ASCIIPlot(72, 20))
+		fmt.Fprint(c.out, fig.ASCIIPlot(72, 20))
 	}
-	fmt.Println()
-	if *outDir != "" {
-		if err := writeFigureFiles(fig, *outDir); err != nil {
-			fmt.Fprintf(os.Stderr, "amdmb: %v\n", err)
-			os.Exit(1)
-		}
+	fmt.Fprintln(c.out)
+	if c.outDir != "" {
+		return writeFigureFiles(fig, c.outDir)
 	}
+	return nil
 }
 
 // writeFigureFiles saves the figure's CSV and a gnuplot script that plots
@@ -133,21 +154,38 @@ func writeFigureFiles(fig *report.Figure, dir string) error {
 	return os.WriteFile(filepath.Join(dir, fig.ID+".gp"), []byte(gp), 0o644)
 }
 
-func emitRuns(runs []core.Run) {
+func (c *cli) emitRuns(runs []core.Run) {
 	t := &report.Table{
 		Header: []string{"series", "x", "seconds", "GPRs", "waves", "hit", "bottleneck"},
 	}
 	for _, r := range runs {
+		if r.Failed() {
+			t.AddRow(r.Card.Label(), fmt.Sprintf("%g", r.X), "FAILED", "-", "-", "-", r.Err)
+			continue
+		}
 		t.AddRow(r.Card.Label(), fmt.Sprintf("%g", r.X), fmt.Sprintf("%.3f", r.Seconds),
 			fmt.Sprintf("%d", r.GPRs), fmt.Sprintf("%d", r.Waves),
 			fmt.Sprintf("%.3f", r.HitRate), r.Bottleneck)
 	}
-	fmt.Println(t.Format())
+	fmt.Fprintln(c.out, t.Format())
+}
+
+// failureTable renders the per-point failure records a resilient sweep
+// completed around.
+func failureTable(failures []core.Run) *report.Table {
+	t := &report.Table{
+		Title:  "Failure summary: points recorded as failed (sweeps completed)",
+		Header: []string{"series", "x", "attempts", "error"},
+	}
+	for _, r := range failures {
+		t.AddRow(r.Card.Label(), fmt.Sprintf("%g", r.X), fmt.Sprintf("%d", r.Attempts), r.Err)
+	}
+	return t
 }
 
 // printFig2 reproduces the paper's example disassembly: a three-input
 // pixel-shader float4 kernel.
-func printFig2() error {
+func (c *cli) printFig2() error {
 	k, err := kerngen.Generic(kerngen.Params{
 		Name: "fig2", Mode: il.Pixel, Type: il.Float4,
 		Inputs: 3, Outputs: 1, ALUOps: 3,
@@ -159,25 +197,40 @@ func printFig2() error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(isa.Disassemble(prog))
+	fmt.Fprint(c.out, isa.Disassemble(prog))
 	st := prog.Stats()
-	fmt.Printf("; GPRs=%d ALU bundles=%d fetches=%d SKA ALU:Fetch=%.2f\n",
+	fmt.Fprintf(c.out, "; GPRs=%d ALU bundles=%d fetches=%d SKA ALU:Fetch=%.2f\n",
 		st.GPRs, st.ALUBundles, st.FetchOps, st.ALUFetchSKA)
 	return nil
 }
 
-func main() {
-	flag.Parse()
-	args := flag.Args()
-	exps := experiments()
+// run is the whole command: parse flags, select experiments, execute
+// them on one suite, and summarize failures. It returns the exit status.
+func run(argv []string, stdout, stderr io.Writer) int {
+	c := &cli{out: stdout, errOut: stderr}
+	fs := flag.NewFlagSet("amdmb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.BoolVar(&c.csv, "csv", false, "emit CSV instead of ASCII plots")
+	fs.IntVar(&c.iters, "iters", 0, "kernel iterations per timing (default 5000)")
+	fs.BoolVar(&c.showRuns, "runs", false, "print per-point run details")
+	fs.StringVar(&c.outDir, "o", "", "also write <dir>/<figure>.csv and a matching gnuplot script")
+	fs.Uint64Var(&c.timeout, "timeout", 0, "per-launch watchdog budget in simulated cycles (0 = simulator default)")
+	fs.IntVar(&c.retries, "retries", 2, "retry attempts for transient launch failures")
+	fs.StringVar(&c.checkpoint, "checkpoint", "", "JSON file recording completed sweep points; re-running resumes from it")
+	fs.StringVar(&c.faults, "faults", "", "deterministic fault-injection plan, e.g. 'seed=42;hang:prob=0.01;transient:prob=0.05'")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
+	exps := c.experiments()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: amdmb [flags] <experiment>...")
-		fmt.Fprintln(os.Stderr, "experiments:")
+		fmt.Fprintln(stderr, "usage: amdmb [flags] <experiment>...")
+		fmt.Fprintln(stderr, "experiments:")
 		for _, e := range exps {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+			fmt.Fprintf(stderr, "  %-10s %s\n", e.name, e.desc)
 		}
-		fmt.Fprintln(os.Stderr, "  all        run everything")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "  all        run everything")
+		return 2
 	}
 
 	byName := map[string]experiment{}
@@ -194,19 +247,41 @@ func main() {
 			break
 		}
 		if _, ok := byName[strings.ToLower(a)]; !ok {
-			fmt.Fprintf(os.Stderr, "amdmb: unknown experiment %q\n", a)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "amdmb: unknown experiment %q\n", a)
+			return 2
 		}
 		selected = append(selected, strings.ToLower(a))
 	}
 	sort.Strings(selected)
 
 	s := core.NewSuite()
-	s.Iterations = *iters
+	s.Iterations = c.iters
+	s.Retries = c.retries
+	s.DeadlineCycles = c.timeout
+	s.Checkpoint = c.checkpoint
+	if c.faults != "" {
+		plan, err := fault.Parse(c.faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "amdmb: %v\n", err)
+			return 2
+		}
+		s.Faults = plan
+	}
+
 	for _, name := range selected {
 		if err := byName[name].run(s); err != nil {
-			fmt.Fprintf(os.Stderr, "amdmb: %s: %v\n", name, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "amdmb: %s: %v\n", name, err)
+			return 1
 		}
 	}
+	if failures := s.Failures(); len(failures) > 0 {
+		fmt.Fprintln(c.out, failureTable(failures).Format())
+		fmt.Fprintf(stderr, "amdmb: %d point(s) failed and were recorded; sweeps completed\n", len(failures))
+		return 3
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

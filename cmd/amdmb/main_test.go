@@ -1,0 +1,152 @@
+package main
+
+// End-to-end smoke tests: the CLI was the only untested layer. Every
+// test drives run() exactly as main does, capturing both streams.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestTable1(t *testing.T) {
+	code, out, stderr := runCLI(t, "table1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"Table I", "RV770", "1600", "DDR5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig2Disassembly(t *testing.T) {
+	code, out, stderr := runCLI(t, "fig2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"TEX:", "EXP_DONE", "GPRs=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7ASCII(t *testing.T) {
+	code, out, stderr := runCLI(t, "-iters", "1", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "ALU:Fetch Ratio for 16 Inputs") {
+		t.Errorf("fig7 plot missing title:\n%.400s", out)
+	}
+}
+
+func TestFig7CSV(t *testing.T) {
+	code, out, stderr := runCLI(t, "-iters", "1", "-csv", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 33 { // header comment + column header + 32 ratio rows
+		t.Fatalf("fig7 CSV has %d lines, want >= 33:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "ALU:Fetch Ratio,") ||
+		!strings.Contains(lines[1], "4870 Pixel Float4") {
+		t.Errorf("CSV header: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "0.25,") {
+		t.Errorf("first data row: %q", lines[2])
+	}
+}
+
+func TestRunsTable(t *testing.T) {
+	code, out, _ := runCLI(t, "-iters", "1", "-runs", "fig13")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "bottleneck") || !strings.Contains(out, "memory") {
+		t.Errorf("-runs detail table missing:\n%.400s", out)
+	}
+}
+
+func TestUsageAndUnknownExperiment(t *testing.T) {
+	if code, _, stderr := runCLI(t); code != 2 || !strings.Contains(stderr, "usage:") {
+		t.Errorf("no-args: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "fig99"); code != 2 || !strings.Contains(stderr, "unknown experiment") {
+		t.Errorf("unknown experiment: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestBadFaultPlanRejected(t *testing.T) {
+	code, _, stderr := runCLI(t, "-faults", "frobnicate", "fig13")
+	if code != 2 || !strings.Contains(stderr, "unknown fault kind") {
+		t.Errorf("bad plan: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestInjectedHangProducesFailureSummary(t *testing.T) {
+	code, out, stderr := runCLI(t,
+		"-iters", "1", "-timeout", "1048576",
+		"-faults", "hang:prob=1,match=writelat_o3",
+		"fig13")
+	if code != 3 {
+		t.Fatalf("exit %d, want 3 (completed with recorded failures); stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "Failure summary") || !strings.Contains(out, "kernel timeout") {
+		t.Errorf("failure summary missing:\n%s", out)
+	}
+	if !strings.Contains(stderr, "failed and were recorded") {
+		t.Errorf("stderr lacks failure note: %q", stderr)
+	}
+}
+
+func TestCheckpointResumeEndToEnd(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	// First run records a timeout failure; completed points checkpoint.
+	code, _, stderr := runCLI(t,
+		"-iters", "1", "-timeout", "1048576", "-checkpoint", ck,
+		"-faults", "hang:prob=1,match=writelat_o3",
+		"fig13")
+	if code != 3 {
+		t.Fatalf("first run exit %d, stderr: %s", code, stderr)
+	}
+	// Re-run without faults resumes and fills in the failed points.
+	code, out, stderr := runCLI(t, "-iters", "1", "-checkpoint", ck, "fig13")
+	if code != 0 {
+		t.Fatalf("resume exit %d, stderr: %s", code, stderr)
+	}
+	if strings.Contains(out, "Failure summary") {
+		t.Errorf("resume still reports failures:\n%s", out)
+	}
+	// The resumed figure is identical to a clean run's.
+	_, clean, _ := runCLI(t, "-iters", "1", "-csv", "fig13")
+	_, resumed, _ := runCLI(t, "-iters", "1", "-csv", "-checkpoint", ck, "fig13")
+	if clean != resumed {
+		t.Errorf("resumed CSV differs from clean run:\n%s\nvs\n%s", resumed, clean)
+	}
+}
+
+func TestWriteFigureFiles(t *testing.T) {
+	dir := t.TempDir()
+	code, _, stderr := runCLI(t, "-iters", "1", "-o", dir, "fig13")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, f := range []string{"fig13.csv", "fig13.gp"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}

@@ -40,7 +40,7 @@ func slopeOf(fig *report.Figure, label string) float64 {
 	return math.NaN()
 }
 
-func runSummary(s *core.Suite) error {
+func (c *cli) runSummary(s *core.Suite) error {
 	t := &report.Table{
 		Title:  "Reproduction summary: paper claim vs measured (simulated devices)",
 		Header: []string{"experiment", "observable", "paper", "measured"},
@@ -110,6 +110,6 @@ func runSummary(s *core.Suite) error {
 	}
 	add("clausectl", "control kernel flat (constant time)", "yes", ctlFlat)
 
-	fmt.Print(t.Format())
+	fmt.Fprint(c.out, t.Format())
 	return nil
 }

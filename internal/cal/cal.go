@@ -9,9 +9,12 @@
 package cal
 
 import (
+	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"amdgpubench/internal/device"
+	"amdgpubench/internal/fault"
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/interp"
@@ -45,13 +48,24 @@ func OpenCustomDevice(spec device.Spec) (*Device, error) {
 // Info returns the device's parameter table.
 func (d *Device) Info() device.Spec { return d.spec }
 
-// Context is a command context on a device.
+// Context is a command context on a device. Contexts are safe for
+// concurrent launches; the fault plan must be set before the first one.
 type Context struct {
-	dev *Device
+	dev      *Device
+	plan     *fault.Plan
+	launches atomic.Uint64
 }
 
 // CreateContext creates a context.
 func (d *Device) CreateContext() *Context { return &Context{dev: d} }
+
+// SetFaultPlan arms deterministic fault injection on every subsequent
+// launch; nil disarms it. See package fault.
+func (c *Context) SetFaultPlan(p *fault.Plan) { c.plan = p }
+
+// Launches returns how many launches the context has issued (attempted
+// launches included), a counter sweeps and tests use for accounting.
+func (c *Context) Launches() uint64 { return c.launches.Load() }
 
 // Module is a compiled kernel.
 type Module struct {
@@ -155,11 +169,22 @@ type LaunchConfig struct {
 	// Ablate selectively disables hardware mechanisms in the timing
 	// simulation (see sim.Ablations).
 	Ablate sim.Ablations
+	// DeadlineCycles is the per-launch watchdog budget: a steady-state
+	// batch that has not drained within it aborts with ErrKernelTimeout.
+	// Zero uses the simulator's default budget.
+	DeadlineCycles uint64
+	// Attempt numbers retries of the same logical launch; it feeds the
+	// fault-injection key so a transient fault can clear on re-issue.
+	Attempt int
 }
 
 // Event is the result of a launch.
 type Event struct {
 	Result sim.Result
+	// Injected records the faults that struck the launch but let it
+	// complete (throttled clocks, corrupted fetches, dropped exports);
+	// faults that fail the launch surface as *LaunchError instead.
+	Injected fault.Injection
 }
 
 // ElapsedSeconds returns the simulated wall-clock time of the launch
@@ -170,8 +195,12 @@ func (e *Event) ElapsedSeconds() float64 { return e.Result.Seconds }
 // Bottleneck returns the limiting resource classification.
 func (e *Event) Bottleneck() sim.Bottleneck { return e.Result.Bottleneck }
 
-// Launch runs a module over a domain.
+// Launch runs a module over a domain. Failures carry the package's error
+// taxonomy: errors.Is(err, ErrKernelTimeout) for watchdog aborts,
+// ErrLaunchTransient for flaky (injected) launch failures, ErrDeviceLost
+// for a dead device.
 func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
+	c.launches.Add(1)
 	if cfg.W <= 0 || cfg.H <= 0 {
 		return nil, fmt.Errorf("cal: bad domain %dx%d", cfg.W, cfg.H)
 	}
@@ -180,24 +209,50 @@ func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
 			return nil, err
 		}
 	}
-	res, err := sim.Run(sim.Config{
-		Spec:       c.dev.spec,
-		Prog:       m.Prog,
-		Order:      cfg.Order,
-		W:          cfg.W,
-		H:          cfg.H,
-		Iterations: cfg.Iterations,
-		Ablate:     cfg.Ablate,
-	})
+
+	arch := c.dev.spec.Arch
+	inj := c.plan.Draw(m.Kernel.Name,
+		fault.Key(m.Kernel.Name, arch.String(), cfg.W, cfg.H, cfg.Attempt))
+	if inj.DeviceLost {
+		return nil, &LaunchError{Kind: ErrDeviceLost, Arch: arch, Kernel: m.Kernel.Name, Injected: inj}
+	}
+	if inj.Transient {
+		return nil, &LaunchError{Kind: ErrLaunchTransient, Arch: arch, Kernel: m.Kernel.Name, Injected: inj}
+	}
+
+	simCfg := sim.Config{
+		Spec:        c.dev.spec,
+		Prog:        m.Prog,
+		Order:       cfg.Order,
+		W:           cfg.W,
+		H:           cfg.H,
+		Iterations:  cfg.Iterations,
+		Ablate:      cfg.Ablate,
+		Watchdog:    cfg.DeadlineCycles,
+		ClockFactor: inj.Throttle,
+	}
+	if inj.Hang {
+		simCfg.Hang = &sim.HangFault{Clause: inj.HangClause}
+		// A hang only manifests as a timeout if a finite deadline is
+		// armed; an unattended sweep always arms one.
+		if simCfg.Watchdog == 0 {
+			simCfg.Watchdog = sim.DefaultWatchdogBudget
+		}
+	}
+	res, err := sim.Run(simCfg)
 	if err != nil {
+		var wde *sim.WatchdogError
+		if errors.As(err, &wde) {
+			return nil, &LaunchError{Kind: ErrKernelTimeout, Arch: arch, Kernel: m.Kernel.Name, Injected: inj, Diag: wde}
+		}
 		return nil, fmt.Errorf("cal: %w", err)
 	}
 	if cfg.Functional {
-		if err := c.executeFunctional(m, cfg); err != nil {
+		if err := c.executeFunctional(m, cfg, inj); err != nil {
 			return nil, err
 		}
 	}
-	return &Event{Result: res}, nil
+	return &Event{Result: res, Injected: inj}, nil
 }
 
 func (c *Context) validateBindings(m *Module, cfg LaunchConfig) error {
@@ -237,14 +292,20 @@ func (c *Context) validateBindings(m *Module, cfg LaunchConfig) error {
 }
 
 // executeFunctional interprets the kernel for every thread of the domain
-// and writes the bound outputs.
-func (c *Context) executeFunctional(m *Module, cfg LaunchConfig) error {
+// and writes the bound outputs. Injected data faults act here: Corrupt
+// perturbs fetched values, Drop silently discards the writes — the
+// silent-corruption failure modes a measurement campaign must be able to
+// rehearse detecting.
+func (c *Context) executeFunctional(m *Module, cfg LaunchConfig, inj fault.Injection) error {
 	env := interp.Env{
 		W: cfg.W, H: cfg.H,
 		Input: func(res, x, y, l int) float32 {
 			v, err := cfg.Inputs[res].At(x, y, l)
 			if err != nil {
 				return 0
+			}
+			if inj.Corrupt {
+				v = fault.CorruptValue(v, x, y, l)
 			}
 			return v
 		},
@@ -263,6 +324,9 @@ func (c *Context) executeFunctional(m *Module, cfg LaunchConfig) error {
 				return fmt.Errorf("cal: functional execution at (%d,%d): %w", x, y, err)
 			}
 			for idx, vec := range out {
+				if inj.Drop {
+					continue
+				}
 				for l := 0; l < lanes; l++ {
 					if err := cfg.Outputs[idx].Set(x, y, l, vec[l]); err != nil {
 						return err

@@ -1,0 +1,176 @@
+package cal
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/fault"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/raster"
+)
+
+// faultCtx opens an RV770 context with a plan armed.
+func faultCtx(t *testing.T, plan *fault.Plan) (*Context, *Module) {
+	t.Helper()
+	ctx := openCtx(t, device.RV770)
+	ctx.SetFaultPlan(plan)
+	m, err := ctx.LoadModule(sumKernel(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctx, m
+}
+
+func fCfg() LaunchConfig {
+	return LaunchConfig{Order: raster.PixelOrder(), W: 64, H: 64, Iterations: 1}
+}
+
+func TestLaunchTransientFault(t *testing.T) {
+	ctx, m := faultCtx(t, &fault.Plan{Specs: []fault.Spec{{Kind: fault.Transient, Prob: 1}}})
+	_, err := ctx.Launch(m, fCfg())
+	if !errors.Is(err, ErrLaunchTransient) {
+		t.Fatalf("want ErrLaunchTransient, got %v", err)
+	}
+	if !IsTransient(err) || !IsRecoverable(err) {
+		t.Fatal("transient should be retryable and recoverable")
+	}
+	var le *LaunchError
+	if !errors.As(err, &le) || le.Arch != device.RV770 {
+		t.Fatalf("launch error detail: %v", err)
+	}
+}
+
+func TestLaunchHangBecomesKernelTimeout(t *testing.T) {
+	ctx, m := faultCtx(t, &fault.Plan{Specs: []fault.Spec{{Kind: fault.Hang, Prob: 1, Clause: 1}}})
+	cfg := fCfg()
+	cfg.DeadlineCycles = 1 << 20
+	_, err := ctx.Launch(m, cfg)
+	if !errors.Is(err, ErrKernelTimeout) {
+		t.Fatalf("want ErrKernelTimeout, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("timeout must not be classified transient")
+	}
+	if !IsRecoverable(err) {
+		t.Fatal("timeout should be recoverable at sweep level")
+	}
+	var le *LaunchError
+	if !errors.As(err, &le) {
+		t.Fatalf("not a LaunchError: %v", err)
+	}
+	if le.Diag == nil || le.Diag.Clause != 1 {
+		t.Fatalf("missing or wrong watchdog diagnostic: %+v", le.Diag)
+	}
+	if !strings.Contains(err.Error(), "injected: hang") {
+		t.Errorf("error should name the injected fault: %q", err.Error())
+	}
+}
+
+func TestLaunchDeviceLostIsFatal(t *testing.T) {
+	ctx, m := faultCtx(t, &fault.Plan{Specs: []fault.Spec{{Kind: fault.DeviceLost, Prob: 1}}})
+	_, err := ctx.Launch(m, fCfg())
+	if !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("want ErrDeviceLost, got %v", err)
+	}
+	if IsRecoverable(err) {
+		t.Fatal("device loss must be fatal")
+	}
+}
+
+func TestLaunchThrottleCompletesWithRecord(t *testing.T) {
+	ctx, m := faultCtx(t, nil)
+	base, err := ctx.Launch(m, fCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, m2 := faultCtx(t, &fault.Plan{Specs: []fault.Spec{{Kind: fault.Throttle, Prob: 1, Factor: 0.5}}})
+	ev, err := ctx2.Launch(m2, fCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Injected.Throttle != 0.5 {
+		t.Fatalf("event did not record throttle: %+v", ev.Injected)
+	}
+	if ratio := ev.ElapsedSeconds() / base.ElapsedSeconds(); ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("throttled launch %.3fx slower, want 2x", ratio)
+	}
+}
+
+func TestLaunchAttemptClearsMatchedTransient(t *testing.T) {
+	// Force a transient on attempt 0 only by probing attempts: with prob 1
+	// it always fires, so scope it with prob<1 and find an attempt where
+	// it clears — proving Attempt feeds the draw key.
+	plan := &fault.Plan{Seed: 9, Specs: []fault.Spec{{Kind: fault.Transient, Prob: 0.5}}}
+	ctx, m := faultCtx(t, plan)
+	saw, cleared := false, false
+	for a := 0; a < 20; a++ {
+		cfg := fCfg()
+		cfg.Attempt = a
+		_, err := ctx.Launch(m, cfg)
+		if err != nil {
+			saw = true
+		} else if saw {
+			cleared = true
+			break
+		}
+	}
+	if !saw || !cleared {
+		t.Fatalf("transient did not both strike and clear across attempts (saw=%v cleared=%v)", saw, cleared)
+	}
+}
+
+func TestLaunchNoPlanUnchanged(t *testing.T) {
+	ctx, m := faultCtx(t, nil)
+	ev, err := ctx.Launch(m, fCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Injected.Any() {
+		t.Fatalf("no plan but injection recorded: %v", ev.Injected)
+	}
+	if ctx.Launches() != 1 {
+		t.Fatalf("launch counter = %d, want 1", ctx.Launches())
+	}
+}
+
+func TestFunctionalCorruptAndDrop(t *testing.T) {
+	run := func(plan *fault.Plan) float32 {
+		ctx, m := faultCtx(t, plan)
+		in, err := ctx.AllocResource2D(8, 8, il.Float, il.TextureSpace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in.Fill(func(x, y, l int) float32 { return 1 })
+		out, err := ctx.AllocResource2D(8, 8, il.Float, il.TextureSpace)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pre-mark the output so dropped writes are detectable.
+		out.Fill(func(x, y, l int) float32 { return -99 })
+		cfg := LaunchConfig{
+			Order: raster.PixelOrder(), W: 8, H: 8, Iterations: 1,
+			Inputs: []*Resource{in, in, in}, Outputs: []*Resource{out},
+			Functional: true,
+		}
+		if _, err := ctx.Launch(m, cfg); err != nil {
+			t.Fatal(err)
+		}
+		v, err := out.At(0, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	clean := run(nil)
+	if clean == -99 {
+		t.Fatal("clean run wrote nothing")
+	}
+	if got := run(&fault.Plan{Specs: []fault.Spec{{Kind: fault.Corrupt, Prob: 1}}}); got == clean {
+		t.Error("corrupt fetch produced clean output")
+	}
+	if got := run(&fault.Plan{Specs: []fault.Spec{{Kind: fault.Drop, Prob: 1}}}); got != -99 {
+		t.Errorf("dropped export still wrote output: %g", got)
+	}
+}

@@ -75,14 +75,21 @@ func (s *Suite) ALUFetchRatio(cfg ALUFetchConfig) (*report.Figure, []Run, error)
 }
 
 // assembleSeries groups card-major ordered runs into one series per card:
-// a new series starts whenever the card changes.
+// a new series starts whenever the card changes. Per-point failure
+// records plot nothing — a detected failure must never fold into a
+// curve as a bogus timing.
 func assembleSeries(fig *report.Figure, runs []Run) {
 	var cur *report.Series
+	started := false
 	var last Card
-	for i, r := range runs {
-		if i == 0 || r.Card != last {
+	for _, r := range runs {
+		if !started || r.Card != last {
 			cur = fig.AddSeries(r.Card.Label())
 			last = r.Card
+			started = true
+		}
+		if r.Failed() {
+			continue
 		}
 		cur.Add(r.X, r.Seconds)
 	}
@@ -329,9 +336,11 @@ func (s *Suite) RegisterUsage(cfg RegisterUsageConfig) (*report.Figure, []Run, e
 		return nil, nil, err
 	}
 	// The x axis is the compiled register count, known only after the
-	// runs complete.
+	// runs complete; failed points have no compile result to re-key by.
 	for i := range runs {
-		runs[i].X = float64(runs[i].GPRs)
+		if !runs[i].Failed() {
+			runs[i].X = float64(runs[i].GPRs)
+		}
 	}
 	assembleSeries(fig, runs)
 	return fig, runs, nil

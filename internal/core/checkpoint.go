@@ -1,0 +1,116 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"sync"
+)
+
+// Sweep checkpointing: runPoints records every completed point into a
+// JSON file as it finishes, so a campaign killed mid-sweep (the paper's
+// figures are thousands of launches) resumes from the last completed
+// point instead of starting over. The file is bound to its sweep by a
+// signature over every point's identity and the iteration count: a
+// checkpoint from a different figure, card set or configuration is
+// ignored rather than resumed into bogus results.
+
+// checkpointFile is the on-disk format.
+type checkpointFile struct {
+	Signature string         `json:"signature"`
+	Runs      map[string]Run `json:"runs"`
+}
+
+// checkpoint is the live handle: a restored map plus incremental saves.
+type checkpoint struct {
+	path string
+	sig  string
+
+	mu   sync.Mutex
+	runs map[int]Run
+}
+
+// sweepSignature fingerprints a sweep: the kernel name, card, x and
+// domain of every point, plus the iteration count.
+func sweepSignature(pts []point, iterations int) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "iters=%d;n=%d;", iterations, len(pts))
+	for _, p := range pts {
+		name := ""
+		if p.k != nil {
+			name = p.k.Name
+		}
+		fmt.Fprintf(h, "%s|%s|%g|%dx%d;", p.card.Label(), name, p.x, p.w, p.h)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// openCheckpoint loads the file if it exists and matches the signature.
+// A missing file or a signature mismatch starts an empty checkpoint; a
+// corrupt file is an error (silently discarding one would silently
+// recompute a half-finished campaign).
+func openCheckpoint(path, sig string) (*checkpoint, error) {
+	ck := &checkpoint{path: path, sig: sig, runs: map[int]Run{}}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("core: checkpoint %s is corrupt: %w", path, err)
+	}
+	if f.Signature != sig {
+		return ck, nil
+	}
+	for key, r := range f.Runs {
+		i, err := strconv.Atoi(key)
+		if err != nil || i < 0 || r.Failed() {
+			// Failure records are not restored: a resumed sweep gets a
+			// fresh chance at previously failed points.
+			continue
+		}
+		ck.runs[i] = r
+	}
+	return ck, nil
+}
+
+// get returns the restored run for point i, if any.
+func (c *checkpoint) get(i int) (Run, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[i]
+	return r, ok
+}
+
+// put records a completed point and rewrites the file atomically
+// (temp file + rename), so a kill mid-write never corrupts the
+// checkpoint. Rewriting the whole file per point is O(n) per save; at
+// the suite's sweep sizes (hundreds of points) that is well under the
+// cost of one simulated launch.
+func (c *checkpoint) put(i int, r Run) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.runs[i] = r
+	f := checkpointFile{Signature: c.sig, Runs: make(map[string]Run, len(c.runs))}
+	for k, v := range c.runs {
+		f.Runs[strconv.Itoa(k)] = v
+	}
+	data, err := json.MarshalIndent(&f, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}

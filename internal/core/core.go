@@ -19,9 +19,13 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"amdgpubench/internal/cal"
 	"amdgpubench/internal/device"
+	"amdgpubench/internal/fault"
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/kerngen"
 	"amdgpubench/internal/raster"
@@ -118,8 +122,32 @@ type Suite struct {
 	// point is an independent deterministic simulation, so results are
 	// identical at any worker count.
 	Workers int
+	// Retries bounds re-issues of a transiently failing launch; each
+	// retry backs off. Zero disables retries.
+	Retries int
+	// RetryBackoff is the delay before the first retry, doubling per
+	// attempt; zero means 1ms.
+	RetryBackoff time.Duration
+	// DeadlineCycles arms the per-launch watchdog budget: a launch whose
+	// steady-state batch has not drained within it fails with
+	// cal.ErrKernelTimeout. Zero uses the simulator's default budget.
+	DeadlineCycles uint64
+	// Checkpoint, when non-empty, is a JSON file recording each completed
+	// sweep point as it finishes; an interrupted sweep re-run with the
+	// same configuration resumes from it instead of recomputing.
+	Checkpoint string
+	// Faults arms deterministic fault injection (see package fault) on
+	// every device context the suite opens.
+	Faults *fault.Plan
 
 	contexts map[device.Arch]*cal.Context
+
+	mu       sync.Mutex
+	failures []Run
+	launched atomic.Int64
+	// testHookBeforeRun, when set, runs before every kernel launch; tests
+	// use it to inject panics into the sweep.
+	testHookBeforeRun func(p point, attempt int)
 }
 
 // NewSuite constructs a suite.
@@ -139,11 +167,27 @@ func (s *Suite) context(a device.Arch) (*cal.Context, error) {
 		return nil, err
 	}
 	c := d.CreateContext()
+	c.SetFaultPlan(s.Faults)
 	s.contexts[a] = c
 	return c, nil
 }
 
-// Run is one timed kernel execution with its classification.
+// Failures returns the per-point failure records the suite's sweeps have
+// accumulated (points that timed out, exhausted retries or panicked but
+// did not abort their sweep).
+func (s *Suite) Failures() []Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Run(nil), s.failures...)
+}
+
+// KernelLaunches returns how many kernel launches the suite has issued,
+// retries included — the accounting checkpoint-resume tests rely on.
+func (s *Suite) KernelLaunches() int64 { return s.launched.Load() }
+
+// Run is one timed kernel execution with its classification. A Run with
+// a non-empty Err is a per-point failure record: the sweep survived it,
+// the point has no timing.
 type Run struct {
 	Card       Card
 	X          float64 // the swept parameter's value
@@ -152,10 +196,18 @@ type Run struct {
 	Waves      int
 	HitRate    float64
 	Bottleneck string
+	// Err is the failure that exhausted the point's attempts; empty for a
+	// successful run.
+	Err string `json:",omitempty"`
+	// Attempts is how many launches the point took (1 = first try).
+	Attempts int `json:",omitempty"`
 }
 
+// Failed reports whether the point is a failure record.
+func (r Run) Failed() bool { return r.Err != "" }
+
 // runKernel compiles and times one kernel for one card.
-func (s *Suite) runKernel(card Card, k *il.Kernel, w, h int) (Run, error) {
+func (s *Suite) runKernel(card Card, k *il.Kernel, w, h, attempt int) (Run, error) {
 	ctx, err := s.context(card.Arch)
 	if err != nil {
 		return Run{}, err
@@ -168,8 +220,10 @@ func (s *Suite) runKernel(card Card, k *il.Kernel, w, h int) (Run, error) {
 	if err != nil {
 		return Run{}, err
 	}
+	s.launched.Add(1)
 	ev, err := ctx.Launch(m, cal.LaunchConfig{
 		Order: order, W: w, H: h, Iterations: s.Iterations,
+		DeadlineCycles: s.DeadlineCycles, Attempt: attempt,
 	})
 	if err != nil {
 		return Run{}, err

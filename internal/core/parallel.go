@@ -1,16 +1,25 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"amdgpubench/internal/cal"
 	"amdgpubench/internal/il"
 )
 
 // The suite's sweeps are embarrassingly parallel: every (card, parameter)
 // point compiles and simulates independently and deterministically. This
-// file provides the order-preserving worker pool the benchmarks run on.
+// file is the resilient sweep runner they execute on: a fixed worker set
+// (never more goroutines than workers, however large the sweep), panic
+// recovery into per-point failure records, bounded retry with backoff
+// for transient launch faults, cancellation of the remaining points on
+// the first fatal error, and JSON checkpointing so an interrupted sweep
+// resumes instead of recomputing.
 
 // point is one sweep job: a kernel to time on a card at an x coordinate.
 type point struct {
@@ -29,10 +38,21 @@ func (s *Suite) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runPoints times every point, in parallel, and returns the runs in input
-// order. Device contexts are created up front because the lazy context
-// map is not safe for concurrent mutation; the contexts themselves are
+// errLaunchPanic marks a panic recovered from a worker: the point failed,
+// the sweep — and the process — survive.
+var errLaunchPanic = errors.New("panic during launch")
+
+// runPoints times every point and returns the runs in input order.
+// Device contexts are created up front because the lazy context map is
+// not safe for concurrent mutation; the contexts themselves are
 // read-only during launches.
+//
+// Failure policy, per the cal taxonomy: transient launch failures retry
+// up to s.Retries times with doubling backoff; timeouts, exhausted
+// transients and recovered panics become per-point failure records
+// (Run.Err) and the sweep continues; anything else — a lost device, a
+// compile or configuration error — is fatal, cancels the undispatched
+// points and fails the sweep.
 func (s *Suite) runPoints(pts []point) ([]Run, error) {
 	for _, p := range pts {
 		if _, err := s.context(p.card.Arch); err != nil {
@@ -40,30 +60,142 @@ func (s *Suite) runPoints(pts []point) ([]Run, error) {
 		}
 	}
 	runs := make([]Run, len(pts))
-	errs := make([]error, len(pts))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, s.workers())
-	for i := range pts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			p := pts[i]
-			run, err := s.runKernel(p.card, p.k, p.w, p.h)
-			if err != nil {
-				errs[i] = fmt.Errorf("core: %s at x=%g: %w", p.card.Label(), p.x, err)
-				return
-			}
-			run.X = p.x
-			runs[i] = run
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	done := make([]bool, len(pts))
+
+	var ck *checkpoint
+	if s.Checkpoint != "" {
+		var err error
+		ck, err = openCheckpoint(s.Checkpoint, sweepSignature(pts, s.Iterations))
 		if err != nil {
 			return nil, err
 		}
+		for i := range pts {
+			if r, ok := ck.get(i); ok {
+				runs[i] = r
+				done[i] = true
+			}
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		fatalErr error
+	)
+	fatal := func(err error) {
+		mu.Lock()
+		if fatalErr == nil {
+			fatalErr = err
+			cancel()
+		}
+		mu.Unlock()
+	}
+
+	// A fixed worker set fed from a channel: a 10k-point sweep runs on
+	// s.workers() goroutines, not 10k.
+	workers := s.workers()
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				run, err := s.runPointResilient(ctx, pts[i])
+				if err != nil {
+					fatal(err)
+					continue
+				}
+				runs[i] = run
+				if ck != nil && !run.Failed() {
+					if err := ck.put(i, run); err != nil {
+						fatal(err)
+					}
+				}
+			}
+		}()
+	}
+feed:
+	for i := range pts {
+		if done[i] {
+			continue
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if fatalErr != nil {
+		return nil, fatalErr
+	}
+	var failed []Run
+	for _, r := range runs {
+		if r.Failed() {
+			failed = append(failed, r)
+		}
+	}
+	if len(failed) > 0 {
+		s.mu.Lock()
+		s.failures = append(s.failures, failed...)
+		s.mu.Unlock()
 	}
 	return runs, nil
+}
+
+// runPointResilient drives one point through the retry policy. A non-nil
+// error is fatal for the sweep; recoverable failures come back as a Run
+// failure record.
+func (s *Suite) runPointResilient(ctx context.Context, p point) (Run, error) {
+	backoff := s.RetryBackoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	attempt := 0
+	for {
+		run, err := s.runKernelSafe(p, attempt)
+		attempt++
+		if err == nil {
+			run.X = p.x
+			run.Attempts = attempt
+			return run, nil
+		}
+		if cal.IsTransient(err) && attempt <= s.Retries && ctx.Err() == nil {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+			}
+			backoff *= 2
+			continue
+		}
+		if cal.IsRecoverable(err) || errors.Is(err, errLaunchPanic) {
+			return Run{
+				Card: p.card, X: p.x, Attempts: attempt,
+				Err: fmt.Sprintf("%s at x=%g: %v", p.card.Label(), p.x, err),
+			}, nil
+		}
+		return Run{}, fmt.Errorf("core: %s at x=%g: %w", p.card.Label(), p.x, err)
+	}
+}
+
+// runKernelSafe is runKernel behind a panic fence: a panicking launch on
+// a worker must fail its point, not the process.
+func (s *Suite) runKernelSafe(p point, attempt int) (run Run, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("%w: %v", errLaunchPanic, rec)
+		}
+	}()
+	if s.testHookBeforeRun != nil {
+		s.testHookBeforeRun(p, attempt)
+	}
+	return s.runKernel(p.card, p.k, p.w, p.h, attempt)
 }

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"amdgpubench/internal/cal"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/fault"
+	"amdgpubench/internal/il"
+)
+
+// sweepCfg is a cheap four-point sweep on one card; kernels are named
+// alufetch_r0.25 .. alufetch_r1.00.
+func sweepCfg() ALUFetchConfig {
+	return ALUFetchConfig{
+		Cards: []Card{{Arch: device.RV770, Mode: il.Pixel, Type: il.Float}},
+		W:     64, H: 64,
+		RatioMax: 1.0,
+	}
+}
+
+func quickSuite() *Suite {
+	s := NewSuite()
+	s.Iterations = 1
+	s.RetryBackoff = time.Microsecond
+	return s
+}
+
+func TestSweepRecordsTimeoutFailure(t *testing.T) {
+	s := quickSuite()
+	s.DeadlineCycles = 1 << 20
+	s.Faults = &fault.Plan{Specs: []fault.Spec{
+		{Kind: fault.Hang, Prob: 1, Match: "alufetch_r0.50", Clause: -1},
+	}}
+	fig, runs, err := s.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatalf("sweep with one hung point should complete, got %v", err)
+	}
+	var failed []Run
+	for _, r := range runs {
+		if r.Failed() {
+			failed = append(failed, r)
+		}
+	}
+	if len(failed) != 1 {
+		t.Fatalf("failed points = %d, want 1 (%+v)", len(failed), runs)
+	}
+	f := failed[0]
+	if f.X != 0.5 {
+		t.Errorf("failed point at x=%g, want 0.5", f.X)
+	}
+	if !strings.Contains(f.Err, "kernel timeout") || !strings.Contains(f.Err, "watchdog") {
+		t.Errorf("failure record lacks taxonomy/diagnostic: %q", f.Err)
+	}
+	if got := s.Failures(); len(got) != 1 || got[0].Err != f.Err {
+		t.Errorf("suite failure log: %+v", got)
+	}
+	// The failed point must not fold into the plotted curve.
+	if len(fig.Series) != 1 || len(fig.Series[0].Points) != len(runs)-1 {
+		t.Errorf("series has %d points, want %d", len(fig.Series[0].Points), len(runs)-1)
+	}
+}
+
+func TestSweepPanicRecoveredIntoPointError(t *testing.T) {
+	s := quickSuite()
+	s.testHookBeforeRun = func(p point, attempt int) {
+		if p.x == 0.75 {
+			panic("injected test panic")
+		}
+	}
+	_, runs, err := s.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatalf("sweep with one panicking point should complete, got %v", err)
+	}
+	var failed []Run
+	for _, r := range runs {
+		if r.Failed() {
+			failed = append(failed, r)
+		}
+	}
+	if len(failed) != 1 || failed[0].X != 0.75 {
+		t.Fatalf("failed = %+v, want exactly the panicked point", failed)
+	}
+	if !strings.Contains(failed[0].Err, "panic during launch") ||
+		!strings.Contains(failed[0].Err, "injected test panic") {
+		t.Errorf("panic record: %q", failed[0].Err)
+	}
+}
+
+func TestSweepRetriesTransientFaults(t *testing.T) {
+	s := quickSuite()
+	s.Retries = 8
+	s.Faults = &fault.Plan{Seed: 11, Specs: []fault.Spec{
+		{Kind: fault.Transient, Prob: 0.5},
+	}}
+	_, runs, err := s.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatalf("transients should be retried away, got %v", err)
+	}
+	retried := false
+	for _, r := range runs {
+		if r.Failed() {
+			t.Fatalf("point failed despite retries: %+v", r)
+		}
+		if r.Attempts > 1 {
+			retried = true
+		}
+	}
+	if !retried {
+		t.Fatal("no point needed a retry; seed no longer exercises the retry path")
+	}
+}
+
+func TestSweepTransientExhaustionIsRecorded(t *testing.T) {
+	s := quickSuite()
+	s.Retries = 2
+	// prob=1 never clears, whatever the attempt: retries exhaust.
+	s.Faults = &fault.Plan{Specs: []fault.Spec{
+		{Kind: fault.Transient, Prob: 1, Match: "alufetch_r0.25"},
+	}}
+	_, runs, err := s.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatalf("exhausted transient should be a point failure, got %v", err)
+	}
+	for _, r := range runs {
+		if r.X == 0.25 {
+			if !r.Failed() || r.Attempts != 3 {
+				t.Fatalf("exhausted point: %+v, want failed after 3 attempts", r)
+			}
+			if !strings.Contains(r.Err, "transient launch failure") {
+				t.Errorf("record lacks taxonomy: %q", r.Err)
+			}
+		} else if r.Failed() {
+			t.Fatalf("unexpected failure: %+v", r)
+		}
+	}
+}
+
+func TestSweepDeviceLostIsFatal(t *testing.T) {
+	s := quickSuite()
+	s.Faults = &fault.Plan{Specs: []fault.Spec{
+		{Kind: fault.DeviceLost, Prob: 1, Match: "alufetch_r0.75"},
+	}}
+	_, _, err := s.ALUFetchRatio(sweepCfg())
+	if !errors.Is(err, cal.ErrDeviceLost) {
+		t.Fatalf("want fatal ErrDeviceLost, got %v", err)
+	}
+}
+
+func TestSweepNoPlanBitIdenticalToBaseline(t *testing.T) {
+	// The determinism guard: arming the resilient machinery without a
+	// fault plan must not perturb a single bit of the figures.
+	base := quickSuite()
+	fig1, _, err := base.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := quickSuite()
+	armed.Retries = 3
+	armed.DeadlineCycles = 1 << 36
+	fig2, _, err := armed.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig1.CSV() != fig2.CSV() {
+		t.Fatalf("resilience machinery changed results:\n%s\nvs\n%s", fig1.CSV(), fig2.CSV())
+	}
+}
+
+// readCheckpoint counts the completed points recorded in a checkpoint.
+func readCheckpoint(t *testing.T, path string) int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		Signature string         `json:"signature"`
+		Runs      map[string]Run `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	return len(f.Runs)
+}
+
+func TestCheckpointResumeSkipsCompletedPoints(t *testing.T) {
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+
+	// First run: one point times out, the other three complete and are
+	// checkpointed — the surviving state of an interrupted campaign.
+	s1 := quickSuite()
+	s1.Checkpoint = ckpath
+	s1.DeadlineCycles = 1 << 20
+	s1.Faults = &fault.Plan{Specs: []fault.Spec{
+		{Kind: fault.Hang, Prob: 1, Match: "alufetch_r0.50", Clause: -1},
+	}}
+	_, runs1, err := s1.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := readCheckpoint(t, ckpath); n != len(runs1)-1 {
+		t.Fatalf("checkpoint holds %d points, want %d", n, len(runs1)-1)
+	}
+
+	// Resume without the fault: only the missing point may recompute.
+	s2 := quickSuite()
+	s2.Checkpoint = ckpath
+	fig2, runs2, err := s2.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.KernelLaunches(); got != 1 {
+		t.Fatalf("resume launched %d kernels, want 1 (the failed point only)", got)
+	}
+	for _, r := range runs2 {
+		if r.Failed() {
+			t.Fatalf("resumed sweep still has failures: %+v", r)
+		}
+	}
+
+	// The resumed figure matches a clean uncheckpointed run bit for bit.
+	clean := quickSuite()
+	figClean, _, err := clean.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.CSV() != figClean.CSV() {
+		t.Fatalf("resumed figure differs from clean run:\n%s\nvs\n%s", fig2.CSV(), figClean.CSV())
+	}
+}
+
+func TestCheckpointInterruptedMidSweepResumes(t *testing.T) {
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+
+	// A lost device kills the first run mid-sweep — the checkpoint keeps
+	// whatever completed before the abort.
+	s1 := quickSuite()
+	s1.Workers = 1 // deterministic: points complete in order until the fatal one
+	s1.Checkpoint = ckpath
+	s1.Faults = &fault.Plan{Specs: []fault.Spec{
+		{Kind: fault.DeviceLost, Prob: 1, Match: "alufetch_r0.75"},
+	}}
+	_, _, err := s1.ALUFetchRatio(sweepCfg())
+	if !errors.Is(err, cal.ErrDeviceLost) {
+		t.Fatalf("want fatal abort, got %v", err)
+	}
+	completed := readCheckpoint(t, ckpath)
+	if completed == 0 {
+		t.Fatal("nothing checkpointed before the abort")
+	}
+
+	s2 := quickSuite()
+	s2.Checkpoint = ckpath
+	_, runs2, err := s2.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(runs2) - completed)
+	if got := s2.KernelLaunches(); got != want {
+		t.Fatalf("resume launched %d kernels, want %d (total %d - checkpointed %d)",
+			got, want, len(runs2), completed)
+	}
+}
+
+func TestCheckpointIgnoresForeignSweep(t *testing.T) {
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+
+	s1 := quickSuite()
+	s1.Checkpoint = ckpath
+	if _, _, err := s1.ALUFetchRatio(sweepCfg()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A different sweep (other card) with the same checkpoint path must
+	// recompute everything, not resume foreign points.
+	other := sweepCfg()
+	other.Cards = []Card{{Arch: device.RV870, Mode: il.Pixel, Type: il.Float}}
+	s2 := quickSuite()
+	s2.Checkpoint = ckpath
+	_, runs2, err := s2.ALUFetchRatio(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.KernelLaunches(); got != int64(len(runs2)) {
+		t.Fatalf("foreign checkpoint restored points: launched %d, want %d", got, len(runs2))
+	}
+}
+
+func TestCheckpointCorruptFileIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(ckpath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := quickSuite()
+	s.Checkpoint = ckpath
+	if _, _, err := s.ALUFetchRatio(sweepCfg()); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt checkpoint silently ignored: %v", err)
+	}
+}

@@ -46,7 +46,7 @@ func (s *Suite) TuneBlockSize(card Card, k *il.Kernel, w, h int) (*BlockTuneResu
 		c := card
 		c.Mode = il.Compute
 		c.BlockW, c.BlockH = b.w, b.h
-		run, err := s.runKernel(c, k, w, h)
+		run, err := s.runKernel(c, k, w, h, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,150 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDrawDeterministic(t *testing.T) {
+	p := &Plan{Seed: 7, Specs: []Spec{
+		{Kind: Hang, Prob: 0.3, Clause: -1},
+		{Kind: Transient, Prob: 0.3},
+		{Kind: Throttle, Prob: 0.3, Factor: 0.5},
+	}}
+	for i := 0; i < 100; i++ {
+		key := Key("k", "RV770", 64, 64, i)
+		a := p.Draw("k", key)
+		b := p.Draw("k", key)
+		if a != b {
+			t.Fatalf("draw not deterministic at attempt %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestDrawProbabilityEndpoints(t *testing.T) {
+	always := &Plan{Specs: []Spec{{Kind: Transient, Prob: 1}}}
+	never := &Plan{Specs: []Spec{{Kind: Transient, Prob: 0}}}
+	for i := 0; i < 200; i++ {
+		key := Key("k", "RV870", 128, 128, i)
+		if !always.Draw("k", key).Transient {
+			t.Fatalf("prob=1 did not inject at attempt %d", i)
+		}
+		if never.Draw("k", key).Any() {
+			t.Fatalf("prob=0 injected at attempt %d", i)
+		}
+	}
+}
+
+func TestDrawRateRoughlyMatchesProb(t *testing.T) {
+	p := &Plan{Seed: 1, Specs: []Spec{{Kind: Transient, Prob: 0.25}}}
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if p.Draw("k", Key("k", "RV670", 64, 64, i)).Transient {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.20 || rate > 0.30 {
+		t.Fatalf("injection rate %.3f, want ~0.25", rate)
+	}
+}
+
+func TestDrawMatchScopesToKernel(t *testing.T) {
+	p := &Plan{Specs: []Spec{{Kind: Hang, Prob: 1, Match: "alufetch_r0.25", Clause: 2}}}
+	inj := p.Draw("alufetch_r0.25", Key("alufetch_r0.25", "RV770", 64, 64, 0))
+	if !inj.Hang || inj.HangClause != 2 {
+		t.Fatalf("matching kernel not injected: %v", inj)
+	}
+	if p.Draw("alufetch_r0.50", Key("alufetch_r0.50", "RV770", 64, 64, 0)).Any() {
+		t.Fatal("non-matching kernel injected")
+	}
+}
+
+func TestDrawNilPlan(t *testing.T) {
+	var p *Plan
+	if p.Draw("k", 1).Any() {
+		t.Fatal("nil plan injected")
+	}
+}
+
+func TestAttemptClearsTransient(t *testing.T) {
+	// With prob 0.5 a transient that struck attempt 0 should clear within
+	// a handful of retries for at least one kernel identity.
+	p := &Plan{Seed: 3, Specs: []Spec{{Kind: Transient, Prob: 0.5}}}
+	cleared := false
+	for i := 0; i < 50 && !cleared; i++ {
+		name := "k" + strings.Repeat("x", i%5)
+		if !p.Draw(name, Key(name, "RV770", 64, 64, 0)).Transient {
+			continue
+		}
+		for a := 1; a < 5; a++ {
+			if !p.Draw(name, Key(name, "RV770", 64, 64, a)).Transient {
+				cleared = true
+				break
+			}
+		}
+	}
+	if !cleared {
+		t.Fatal("transient never cleared across retries")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "seed=42;hang:prob=0.01,match=alufetch,clause=2;transient:prob=0.05;throttle:prob=0.1,factor=0.5"
+	p, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || len(p.Specs) != 3 {
+		t.Fatalf("parsed plan: %+v", p)
+	}
+	if p.Specs[0].Kind != Hang || p.Specs[0].Clause != 2 || p.Specs[0].Match != "alufetch" {
+		t.Fatalf("hang spec: %+v", p.Specs[0])
+	}
+	if got := p.String(); got != in {
+		t.Fatalf("round trip: %q != %q", got, in)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	p, err := Parse("hang")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Specs[0]
+	if s.Prob != 1 || s.Clause != -1 {
+		t.Fatalf("defaults: %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "frobnicate", "hang:prob=2", "hang:clause=x",
+		"throttle:factor=0", "throttle:factor=1.5", "hang:wat=1",
+		"seed=abc;hang", "hang:prob",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInjectionString(t *testing.T) {
+	inj := Injection{Hang: true, HangClause: 3, Throttle: 0.5}
+	if got := inj.String(); got != "hang(clause=3)+throttle(0.50)" {
+		t.Fatalf("string: %q", got)
+	}
+	if (Injection{}).String() != "none" {
+		t.Fatal("empty injection string")
+	}
+}
+
+func TestCorruptValueDeterministic(t *testing.T) {
+	if CorruptValue(2, 0, 0, 0) != -2 {
+		t.Fatal("lane (0,0,0) should flip sign")
+	}
+	if CorruptValue(2, 1, 0, 0) != 2 {
+		t.Fatal("lane (1,0,0) should pass through")
+	}
+}

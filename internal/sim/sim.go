@@ -34,6 +34,41 @@ const DefaultIterations = 5000
 // domain-of-one kernel, which is why realistic domains are used.
 const launchOverheadCycles = 20000
 
+// DefaultWatchdogBudget is the forward-progress cycle budget for one
+// steady-state batch when Config.Watchdog is zero. Real batches finish in
+// well under a billion cycles; a wavefront set that has not drained by
+// 2^40 cycles is stuck, not slow.
+const DefaultWatchdogBudget = uint64(1) << 40
+
+// HangFault injects a clause that never retires: the issuing wavefront
+// stalls forever, the failure mode a driver watchdog reset recovers on
+// real hardware. Clause is the clause index; negative picks the last.
+type HangFault struct {
+	Clause int
+}
+
+// WatchdogError is the structured diagnostic the watchdog aborts with
+// when a wavefront set stops retiring work within the cycle budget: which
+// wavefront is stuck entering which clause, how far the batch got, and
+// the per-pipe busy counters accumulated before the abort.
+type WatchdogError struct {
+	Wave     int      // the stuck wavefront
+	Clause   int      // the clause it cannot complete
+	Clauses  int      // total clauses in the kernel
+	At       uint64   // the cycle the stuck event surfaced
+	Budget   uint64   // the budget it exceeded
+	Retired  int      // clause executions retired before the abort
+	Waiting  int      // wavefronts still in flight (including the stuck one)
+	Counters Counters // pipe busy cycles up to the abort
+}
+
+// Error renders the diagnostic.
+func (e *WatchdogError) Error() string {
+	return fmt.Sprintf(
+		"watchdog: no forward progress within %d cycles: wavefront %d stuck entering clause %d/%d at cycle %d (%d clause executions retired, %d wavefronts in flight)",
+		e.Budget, e.Wave, e.Clause, e.Clauses, e.At, e.Retired, e.Waiting)
+}
+
 // Ablations switches individual hardware mechanisms off so their
 // contribution to the paper's results can be quantified (DESIGN.md §7).
 type Ablations struct {
@@ -60,6 +95,17 @@ type Config struct {
 	Iterations int
 	// Ablate selectively disables hardware mechanisms.
 	Ablate Ablations
+	// Watchdog is the forward-progress cycle budget per steady-state
+	// batch; an event surfacing past it aborts the run with a
+	// *WatchdogError. Zero means DefaultWatchdogBudget.
+	Watchdog uint64
+	// Hang, when non-nil, injects a clause that never retires (fault
+	// injection); the watchdog is what must catch it.
+	Hang *HangFault
+	// ClockFactor scales the effective core clock, modelling a thermal
+	// throttle event; 0 or 1 means nominal. Cycle counts are unaffected,
+	// only Seconds stretches.
+	ClockFactor float64
 }
 
 // Counters holds per-resource busy cycles for one steady-state batch.
@@ -192,17 +238,39 @@ func Run(cfg Config) (Result, error) {
 		res.Batches++
 	}
 
-	makespan, counters := simulateBatch(steps, res.WavesPerSIMD)
+	budget := cfg.Watchdog
+	if budget == 0 {
+		budget = DefaultWatchdogBudget
+	}
+	hang := -1
+	if cfg.Hang != nil {
+		hang = cfg.Hang.Clause
+		if hang < 0 || hang >= len(steps) {
+			hang = len(steps) - 1
+		}
+	}
+
+	makespan, counters, wderr := simulateBatch(steps, res.WavesPerSIMD, budget, hang)
+	if wderr != nil {
+		return Result{}, fmt.Errorf("sim: %w", wderr)
+	}
 	total := uint64(full) * makespan
 	if rem > 0 {
-		m2, _ := simulateBatch(steps, rem)
+		m2, _, wderr2 := simulateBatch(steps, rem, budget, hang)
+		if wderr2 != nil {
+			return Result{}, fmt.Errorf("sim: %w", wderr2)
+		}
 		total += m2
 	}
 	total += launchOverheadCycles
 
+	clock := float64(cfg.Spec.CoreClockMHz) * 1e6
+	if cfg.ClockFactor > 0 && cfg.ClockFactor != 1 {
+		clock *= cfg.ClockFactor
+	}
 	res.Counters = counters
 	res.Cycles = total * uint64(iters)
-	res.Seconds = float64(res.Cycles) / (float64(cfg.Spec.CoreClockMHz) * 1e6)
+	res.Seconds = float64(res.Cycles) / clock
 	res.Bottleneck = classify(counters)
 	return res, nil
 }
@@ -334,8 +402,15 @@ func (h *eventHeap) Pop() any {
 }
 
 // simulateBatch runs `waves` wavefronts through the clause steps on one
-// SIMD engine's pipes and returns the makespan and busy counters.
-func simulateBatch(steps []step, waves int) (uint64, Counters) {
+// SIMD engine's pipes and returns the makespan and busy counters. The
+// budget is the forward-progress watchdog: the event-driven loop only
+// ever advances time, so the first event surfacing past the budget
+// proves the remaining wavefronts cannot retire within it, and the batch
+// aborts with a structured diagnostic instead of spinning. A hang index
+// >= 0 injects a clause that never completes (its issuing wavefront's
+// next event lands beyond the budget), which is exactly the failure the
+// watchdog exists to catch.
+func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Counters, *WatchdogError) {
 	alu := mem.NewPipe("alu")
 	tex := mem.NewPipe("tex")
 	l2 := mem.NewPipe("l2")
@@ -349,13 +424,43 @@ func simulateBatch(steps []step, waves int) (uint64, Counters) {
 	}
 	heap.Init(&h)
 
+	counters := func() Counters {
+		return Counters{
+			ALU:       alu.Busy(),
+			TexIssue:  tex.Busy(),
+			L2Fill:    l2.Busy(),
+			TexFill:   fillBusy,
+			MemGlobal: globalBusy,
+			Export:    exp.Busy(),
+		}
+	}
+
 	var makespan uint64
+	retired := 0
 	for h.Len() > 0 {
 		e := heap.Pop(&h).(event)
+		if e.at > budget {
+			return 0, Counters{}, &WatchdogError{
+				Wave:     e.wave,
+				Clause:   e.clause,
+				Clauses:  len(steps),
+				At:       e.at,
+				Budget:   budget,
+				Retired:  retired,
+				Waiting:  h.Len() + 1,
+				Counters: counters(),
+			}
+		}
 		if e.clause >= len(steps) {
 			if e.at > makespan {
 				makespan = e.at
 			}
+			continue
+		}
+		if e.clause == hang {
+			// The clause issues but never retires: re-surface the same
+			// clause past the budget so the watchdog sees the stall.
+			heap.Push(&h, event{at: budget + 1, wave: e.wave, clause: e.clause})
 			continue
 		}
 		s := steps[e.clause]
@@ -386,17 +491,11 @@ func simulateBatch(steps []step, waves int) (uint64, Counters) {
 			ready = done
 		}
 		ready += s.latency
+		retired++
 		heap.Push(&h, event{at: ready, wave: e.wave, clause: e.clause + 1})
 	}
 
-	return makespan, Counters{
-		ALU:       alu.Busy(),
-		TexIssue:  tex.Busy(),
-		L2Fill:    l2.Busy(),
-		TexFill:   fillBusy,
-		MemGlobal: globalBusy,
-		Export:    exp.Busy(),
-	}
+	return makespan, counters(), nil
 }
 
 // classify maps busy counters to the paper's three bottleneck classes. The

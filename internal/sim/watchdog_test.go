@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/raster"
+)
+
+// watchdogConfig builds a small texture-read kernel config for the
+// watchdog experiments.
+func watchdogConfig(t *testing.T) Config {
+	t.Helper()
+	spec := device.Lookup(device.RV770)
+	prog := buildChain(t, spec, 4, 8, il.Pixel, il.Float, il.TextureSpace, il.TextureSpace, 1)
+	return Config{
+		Spec: spec, Prog: prog, Order: raster.PixelOrder(),
+		W: 64, H: 64, Iterations: 1,
+	}
+}
+
+func TestWatchdogCatchesInjectedHang(t *testing.T) {
+	cfg := watchdogConfig(t)
+	cfg.Watchdog = 1 << 20
+	cfg.Hang = &HangFault{Clause: 1}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("hung kernel completed")
+	}
+	var wde *WatchdogError
+	if !errors.As(err, &wde) {
+		t.Fatalf("error is not a *WatchdogError: %v", err)
+	}
+	if wde.Clause != 1 {
+		t.Errorf("stuck clause = %d, want 1", wde.Clause)
+	}
+	if wde.Budget != 1<<20 || wde.At <= wde.Budget {
+		t.Errorf("abort at cycle %d with budget %d: want At > Budget", wde.At, wde.Budget)
+	}
+	if wde.Waiting < 1 {
+		t.Errorf("waiting wavefronts = %d, want >= 1", wde.Waiting)
+	}
+	if wde.Clauses != len(cfg.Prog.Clauses) {
+		t.Errorf("diagnostic clause count = %d, want %d", wde.Clauses, len(cfg.Prog.Clauses))
+	}
+	if !strings.Contains(err.Error(), "watchdog") || !strings.Contains(err.Error(), "stuck") {
+		t.Errorf("diagnostic text: %q", err.Error())
+	}
+}
+
+func TestWatchdogHangNegativeClausePicksLast(t *testing.T) {
+	cfg := watchdogConfig(t)
+	cfg.Watchdog = 1 << 20
+	cfg.Hang = &HangFault{Clause: -1}
+	_, err := Run(cfg)
+	var wde *WatchdogError
+	if !errors.As(err, &wde) {
+		t.Fatalf("want watchdog error, got %v", err)
+	}
+	if wde.Clause != len(cfg.Prog.Clauses)-1 {
+		t.Errorf("stuck clause = %d, want last (%d)", wde.Clause, len(cfg.Prog.Clauses)-1)
+	}
+}
+
+func TestWatchdogBudgetAbortsSlowBatch(t *testing.T) {
+	// An absurdly tight budget fires even without an injected hang: the
+	// forward-progress detector is generic, not hang-specific.
+	cfg := watchdogConfig(t)
+	cfg.Watchdog = 1
+	_, err := Run(cfg)
+	var wde *WatchdogError
+	if !errors.As(err, &wde) {
+		t.Fatalf("want watchdog error under 1-cycle budget, got %v", err)
+	}
+	if wde.Retired < 0 || wde.Counters.ALU == 0 && wde.Counters.TexIssue == 0 && wde.At == 0 {
+		t.Errorf("diagnostic lacks progress info: %+v", wde)
+	}
+}
+
+func TestWatchdogDefaultBudgetIsTransparent(t *testing.T) {
+	// The watchdog must not perturb timing: an explicit generous budget
+	// and the zero-value default produce bit-identical results.
+	base, err := Run(watchdogConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := watchdogConfig(t)
+	cfg.Watchdog = DefaultWatchdogBudget / 2
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != got {
+		t.Fatalf("watchdog changed results:\n%+v\nvs\n%+v", base, got)
+	}
+}
+
+func TestClockThrottleStretchesSecondsOnly(t *testing.T) {
+	base, err := Run(watchdogConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := watchdogConfig(t)
+	cfg.ClockFactor = 0.5
+	slow, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.Cycles != base.Cycles {
+		t.Errorf("throttle changed cycles: %d vs %d", slow.Cycles, base.Cycles)
+	}
+	if ratio := slow.Seconds / base.Seconds; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("0.5 throttle stretched seconds by %.3fx, want 2x", ratio)
+	}
+}
