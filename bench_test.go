@@ -79,6 +79,28 @@ func BenchmarkFig7ALUFetch(b *testing.B) {
 	b.ReportMetric(core.CrossoverOf(fig, "4870 Pixel Float4"), "crossover-4870-float4")
 }
 
+// repeatedSweep is the artifact-cache workload: a fresh suite re-running
+// one figure several times, the shape of iterating on a plot or sweeping
+// a derived experiment. Cached vs uncached isolates the pipeline's
+// memoization (generate/compile/replay/simulate artifacts reused within
+// and across the repeats); the figures are bit-identical either way.
+func repeatedSweep(b *testing.B, disableCache bool) {
+	const repeats = 3
+	for i := 0; i < b.N; i++ {
+		s := core.NewSuite()
+		s.Iterations = 1
+		s.DisableArtifactCache = disableCache
+		for r := 0; r < repeats; r++ {
+			if _, _, err := s.Fig7(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkFig7RepeatedSweepCached(b *testing.B)   { repeatedSweep(b, false) }
+func BenchmarkFig7RepeatedSweepUncached(b *testing.B) { repeatedSweep(b, true) }
+
 func BenchmarkFig8ALUFetchBlock4x16(b *testing.B) {
 	s := newSuite()
 	var fig *report.Figure

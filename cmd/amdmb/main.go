@@ -21,6 +21,8 @@
 //	-checkpoint file   record completed sweep points; re-running resumes from it
 //	-faults plan       arm deterministic fault injection, e.g.
 //	                   'seed=42;hang:prob=0.01;transient:prob=0.05'
+//	-cache-stats       print the pipeline's per-stage artifact-cache counters
+//	-no-cache          disable content-addressed artifact caching (recompute all)
 //
 // Exit status: 0 on success, 1 on a fatal error, 2 on usage errors, 3
 // when the sweeps completed but recorded per-point failures (printed in
@@ -57,6 +59,8 @@ type cli struct {
 	retries    int
 	checkpoint string
 	faults     string
+	cacheStats bool
+	noCache    bool
 
 	out    io.Writer
 	errOut io.Writer
@@ -218,6 +222,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.IntVar(&c.retries, "retries", 2, "retry attempts for transient launch failures")
 	fs.StringVar(&c.checkpoint, "checkpoint", "", "JSON file recording completed sweep points; re-running resumes from it")
 	fs.StringVar(&c.faults, "faults", "", "deterministic fault-injection plan, e.g. 'seed=42;hang:prob=0.01;transient:prob=0.05'")
+	fs.BoolVar(&c.cacheStats, "cache-stats", false, "print the pipeline's per-stage artifact-cache counters after the experiments")
+	fs.BoolVar(&c.noCache, "no-cache", false, "disable content-addressed artifact caching (every stage recomputes)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -259,6 +265,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	s.Retries = c.retries
 	s.DeadlineCycles = c.timeout
 	s.Checkpoint = c.checkpoint
+	s.DisableArtifactCache = c.noCache
 	if c.faults != "" {
 		plan, err := fault.Parse(c.faults)
 		if err != nil {
@@ -273,6 +280,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "amdmb: %s: %v\n", name, err)
 			return 1
 		}
+	}
+	if c.cacheStats {
+		fmt.Fprintln(c.out, s.CacheStats().Format())
 	}
 	if failures := s.Failures(); len(failures) > 0 {
 		fmt.Fprintln(c.out, failureTable(failures).Format())

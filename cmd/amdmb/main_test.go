@@ -150,3 +150,39 @@ func TestWriteFigureFiles(t *testing.T) {
 		}
 	}
 }
+
+func TestCacheStatsFlag(t *testing.T) {
+	code, out, stderr := runCLI(t, "-cache-stats", "-iters", "1", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"Pipeline artifact caches", "compile", "replay", "simulate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-cache-stats output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "enabled") {
+		t.Errorf("-cache-stats should report caching enabled:\n%s", out)
+	}
+}
+
+func TestNoCacheFlagMatchesCachedOutput(t *testing.T) {
+	codeA, cached, stderr := runCLI(t, "-csv", "-iters", "1", "fig7")
+	if codeA != 0 {
+		t.Fatalf("cached run: exit %d, stderr: %s", codeA, stderr)
+	}
+	codeB, uncached, stderr := runCLI(t, "-csv", "-iters", "1", "-no-cache", "fig7")
+	if codeB != 0 {
+		t.Fatalf("-no-cache run: exit %d, stderr: %s", codeB, stderr)
+	}
+	if cached != uncached {
+		t.Error("-no-cache changed figure output; caching must be invisible in results")
+	}
+	code, out, stderr := runCLI(t, "-cache-stats", "-no-cache", "-iters", "1", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "disabled") {
+		t.Errorf("-cache-stats with -no-cache should report caching disabled:\n%s", out)
+	}
+}

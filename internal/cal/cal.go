@@ -19,6 +19,7 @@ import (
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/interp"
 	"amdgpubench/internal/isa"
+	"amdgpubench/internal/pipeline"
 	"amdgpubench/internal/raster"
 	"amdgpubench/internal/sim"
 )
@@ -48,20 +49,42 @@ func OpenCustomDevice(spec device.Spec) (*Device, error) {
 // Info returns the device's parameter table.
 func (d *Device) Info() device.Spec { return d.spec }
 
-// Context is a command context on a device. Contexts are safe for
-// concurrent launches; the fault plan must be set before the first one.
+// Context is a command context on a device: a thin client of the staged
+// launch pipeline (see internal/pipeline). Contexts are safe for
+// concurrent launches, and the fault plan may be swapped at any time,
+// including while launches are in flight.
 type Context struct {
 	dev      *Device
-	plan     *fault.Plan
+	pipe     *pipeline.Pipeline
+	plan     atomic.Pointer[fault.Plan]
 	launches atomic.Uint64
 }
 
-// CreateContext creates a context.
-func (d *Device) CreateContext() *Context { return &Context{dev: d} }
+// CreateContext creates a context with its own artifact-caching
+// pipeline.
+func (d *Device) CreateContext() *Context {
+	return d.CreateContextWith(pipeline.New(pipeline.Options{}))
+}
+
+// CreateContextWith creates a context that stages its module loads and
+// launches through an existing pipeline, sharing its artifact caches
+// with every other context on the same pipeline. A nil pipeline gets a
+// fresh one.
+func (d *Device) CreateContextWith(p *pipeline.Pipeline) *Context {
+	if p == nil {
+		p = pipeline.New(pipeline.Options{})
+	}
+	return &Context{dev: d, pipe: p}
+}
+
+// Pipeline returns the staged pipeline behind the context's launches.
+func (c *Context) Pipeline() *pipeline.Pipeline { return c.pipe }
 
 // SetFaultPlan arms deterministic fault injection on every subsequent
-// launch; nil disarms it. See package fault.
-func (c *Context) SetFaultPlan(p *fault.Plan) { c.plan = p }
+// launch; nil disarms it. It is safe to call concurrently with Launch:
+// in-flight launches use whichever plan they observed. See package
+// fault.
+func (c *Context) SetFaultPlan(p *fault.Plan) { c.plan.Store(p) }
 
 // Launches returns how many launches the context has issued (attempted
 // launches included), a counter sweeps and tests use for accounting.
@@ -79,8 +102,11 @@ func (c *Context) LoadModule(k *il.Kernel) (*Module, error) {
 }
 
 // LoadModuleWith compiles with explicit compiler options (ablations).
+// Compilation goes through the pipeline's Compile stage: identical IL on
+// the same architecture with the same options is compiled once and the
+// resulting program shared.
 func (c *Context) LoadModuleWith(k *il.Kernel, opts ilc.Options) (*Module, error) {
-	prog, err := ilc.CompileWith(k, c.dev.spec, opts)
+	prog, err := c.pipe.Compile(k, c.dev.spec, opts)
 	if err != nil {
 		return nil, fmt.Errorf("cal: %w", err)
 	}
@@ -211,7 +237,7 @@ func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
 	}
 
 	arch := c.dev.spec.Arch
-	inj := c.plan.Draw(m.Kernel.Name,
+	inj := c.plan.Load().Draw(m.Kernel.Name,
 		fault.Key(m.Kernel.Name, arch.String(), cfg.W, cfg.H, cfg.Attempt))
 	if inj.DeviceLost {
 		return nil, &LaunchError{Kind: ErrDeviceLost, Arch: arch, Kernel: m.Kernel.Name, Injected: inj}
@@ -239,7 +265,7 @@ func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
 			simCfg.Watchdog = sim.DefaultWatchdogBudget
 		}
 	}
-	res, err := sim.Run(simCfg)
+	res, err := c.pipe.Simulate(simCfg)
 	if err != nil {
 		var wde *sim.WatchdogError
 		if errors.As(err, &wde) {

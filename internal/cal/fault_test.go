@@ -3,6 +3,7 @@ package cal
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"amdgpubench/internal/device"
@@ -173,4 +174,47 @@ func TestFunctionalCorruptAndDrop(t *testing.T) {
 	if got := run(&fault.Plan{Specs: []fault.Spec{{Kind: fault.Drop, Prob: 1}}}); got != -99 {
 		t.Errorf("dropped export still wrote output: %g", got)
 	}
+}
+
+// TestSetFaultPlanConcurrentWithLaunch swaps the fault plan while
+// launches are in flight. The plan pointer is an atomic swap, so this
+// must be race-clean (the -race run enforces it) and every launch must
+// observe either a coherent plan or none — never a torn one.
+func TestSetFaultPlanConcurrentWithLaunch(t *testing.T) {
+	ctx, m := faultCtx(t, nil)
+	plans := []*fault.Plan{
+		nil,
+		{Specs: []fault.Spec{{Kind: fault.Transient, Prob: 1}}},
+		{Specs: []fault.Spec{{Kind: fault.Throttle, Prob: 1, Factor: 0.5}}},
+	}
+	stop := make(chan struct{})
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				ctx.SetFaultPlan(plans[i%len(plans)])
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, err := ctx.Launch(m, fCfg())
+				if err != nil && !errors.Is(err, ErrLaunchTransient) {
+					t.Errorf("launch under plan swap: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-swapperDone
 }

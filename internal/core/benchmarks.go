@@ -6,7 +6,7 @@ import (
 
 	"amdgpubench/internal/device"
 	"amdgpubench/internal/il"
-	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/pipeline"
 	"amdgpubench/internal/report"
 )
 
@@ -59,7 +59,7 @@ func (s *Suite) ALUFetchRatio(cfg ALUFetchConfig) (*report.Figure, []Run, error)
 		for r := cfg.RatioMin; r <= cfg.RatioMax+1e-9; r += cfg.RatioStep {
 			p := card.params(cfg.Inputs, 1, cfg.InputSpace, cfg.OutSpace)
 			p.ALUFetchRatio = r
-			k, err := kerngen.ALUFetch(p)
+			k, err := s.generate(pipeline.GenALUFetch, p)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -132,7 +132,7 @@ func (s *Suite) ReadLatency(cfg ReadLatencyConfig) (*report.Figure, []Run, error
 	for _, card := range cfg.Cards {
 		for n := cfg.MinInputs; n <= cfg.MaxInputs; n++ {
 			p := card.params(n, 1, cfg.Space, il.TextureSpace)
-			k, err := kerngen.ReadLatency(p)
+			k, err := s.generate(pipeline.GenReadLatency, p)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -191,7 +191,7 @@ func (s *Suite) WriteLatency(cfg WriteLatencyConfig) (*report.Figure, []Run, err
 		}
 		for n := 1; n <= cfg.MaxOutputs; n++ {
 			p := card.params(cfg.Inputs, n, il.TextureSpace, cfg.Space)
-			k, err := kerngen.WriteLatency(p)
+			k, err := s.generate(pipeline.GenWriteLatency, p)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -246,7 +246,7 @@ func (s *Suite) DomainSize(cfg DomainConfig) (*report.Figure, []Run, error) {
 		}
 		for d := cfg.MinDim; d <= cfg.MaxDim; d += step {
 			p := card.params(8, 1, il.TextureSpace, il.TextureSpace)
-			k, err := kerngen.Domain(p)
+			k, err := s.generate(pipeline.GenDomain, p)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -320,11 +320,11 @@ func (s *Suite) RegisterUsage(cfg RegisterUsageConfig) (*report.Figure, []Run, e
 			p.ALUFetchRatio = cfg.Ratio
 			p.Space = cfg.Space
 			p.Step = step
-			gen := kerngen.RegisterUsage
+			gen := pipeline.GenRegisterUsage
 			if cfg.Control {
-				gen = kerngen.ClauseUsage
+				gen = pipeline.GenClauseUsage
 			}
-			k, err := gen(p)
+			k, err := s.generate(gen, p)
 			if err != nil {
 				return nil, nil, err
 			}

@@ -28,6 +28,7 @@ import (
 	"amdgpubench/internal/fault"
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/pipeline"
 	"amdgpubench/internal/raster"
 )
 
@@ -139,7 +140,20 @@ type Suite struct {
 	// Faults arms deterministic fault injection (see package fault) on
 	// every device context the suite opens.
 	Faults *fault.Plan
+	// DisableArtifactCache turns off the pipeline's content-addressed
+	// memoization: every sweep point regenerates, recompiles, re-replays
+	// and re-simulates from scratch. Figures are bit-identical either
+	// way; the switch exists for baselines (`amdmb -no-cache`) and the
+	// cached-vs-uncached benchmarks. Set it before the first sweep.
+	DisableArtifactCache bool
 
+	// pipe is the staged launch pipeline every context the suite opens
+	// shares, so compile and replay artifacts are reused across cards,
+	// figures and repeat runs.
+	pipeOnce sync.Once
+	pipe     *pipeline.Pipeline
+
+	ctxMu    sync.Mutex
 	contexts map[device.Arch]*cal.Context
 
 	mu       sync.Mutex
@@ -155,7 +169,25 @@ func NewSuite() *Suite {
 	return &Suite{contexts: make(map[device.Arch]*cal.Context)}
 }
 
+// Pipeline returns the suite's shared launch pipeline, creating it on
+// first use with the suite's cache setting.
+func (s *Suite) Pipeline() *pipeline.Pipeline {
+	s.pipeOnce.Do(func() {
+		s.pipe = pipeline.New(pipeline.Options{Disabled: s.DisableArtifactCache})
+	})
+	return s.pipe
+}
+
+// CacheStats snapshots the shared pipeline's per-stage artifact-cache
+// counters (`amdmb -cache-stats`).
+func (s *Suite) CacheStats() pipeline.Stats { return s.Pipeline().Stats() }
+
+// context returns the suite's one context per architecture, opening the
+// device on first use. It is safe for concurrent callers: workers racing
+// on a cold arch open it once and share the result.
 func (s *Suite) context(a device.Arch) (*cal.Context, error) {
+	s.ctxMu.Lock()
+	defer s.ctxMu.Unlock()
 	if s.contexts == nil {
 		s.contexts = make(map[device.Arch]*cal.Context)
 	}
@@ -166,10 +198,16 @@ func (s *Suite) context(a device.Arch) (*cal.Context, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := d.CreateContext()
+	c := d.CreateContextWith(s.Pipeline())
 	c.SetFaultPlan(s.Faults)
 	s.contexts[a] = c
 	return c, nil
+}
+
+// generate runs a kernel generator through the pipeline's Generate
+// stage, so identical sweep points share one IL artifact.
+func (s *Suite) generate(g pipeline.Generator, p kerngen.Params) (*il.Kernel, error) {
+	return s.Pipeline().Generate(g, p)
 }
 
 // Failures returns the per-point failure records the suite's sweeps have

@@ -35,6 +35,64 @@ func TestParallelSweepDeterministic(t *testing.T) {
 	}
 }
 
+// TestCachedSweepBitIdenticalToUncached proves the pipeline's caching
+// guarantee: a parallel sweep served from the shared artifact stores is
+// bit-identical to a serial sweep that recomputes every stage from
+// scratch. Cache hits change wall-clock time, never results.
+func TestCachedSweepBitIdenticalToUncached(t *testing.T) {
+	run := func(workers int, disableCache bool) string {
+		s := NewSuite()
+		s.Iterations = 1
+		s.Workers = workers
+		s.DisableArtifactCache = disableCache
+		fig, _, err := s.ALUFetchRatio(ALUFetchConfig{
+			Cards: []Card{
+				{Arch: device.RV770, Mode: il.Pixel, Type: il.Float},
+				{Arch: device.RV870, Mode: il.Compute, Type: il.Float4},
+			},
+			RatioMax: 2.0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.CSV()
+	}
+	uncachedSerial := run(1, true)
+	if got := run(8, false); got != uncachedSerial {
+		t.Fatalf("cached 8-worker figure differs from uncached serial figure:\n%s\nvs:\n%s",
+			got, uncachedSerial)
+	}
+}
+
+// TestLaunchAccountingMatchesContexts cross-checks the suite's launch
+// counter against the per-context counters in the CAL layer: every
+// launch the suite issues goes through exactly one of its contexts, so
+// the sums must agree even with artifact caching collapsing the work
+// behind those launches.
+func TestLaunchAccountingMatchesContexts(t *testing.T) {
+	s := suite()
+	s.Workers = 4
+	if _, _, err := s.Fig7(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Fig13(); err != nil {
+		t.Fatal(err)
+	}
+	var fromContexts int64
+	s.ctxMu.Lock()
+	nctx := len(s.contexts)
+	for _, c := range s.contexts {
+		fromContexts += int64(c.Launches())
+	}
+	s.ctxMu.Unlock()
+	if nctx == 0 {
+		t.Fatal("no contexts opened")
+	}
+	if got := s.KernelLaunches(); got == 0 || got != fromContexts {
+		t.Fatalf("suite counted %d launches, contexts counted %d", got, fromContexts)
+	}
+}
+
 // TestSuiteRunsAreRepeatable re-runs one figure twice on one suite: the
 // simulator holds no hidden state between launches.
 func TestSuiteRunsAreRepeatable(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/pipeline"
 	"amdgpubench/internal/raster"
 	"amdgpubench/internal/report"
 	"amdgpubench/internal/sim"
@@ -170,7 +171,7 @@ func (s *Suite) BlockSizeSweep(cfg BlockSizeConfig) (*report.Figure, []Run, erro
 				card.BlockW, card.BlockH = b.w, b.h
 				p := card.params(cfg.Inputs, 1, il.TextureSpace, il.GlobalSpace)
 				p.ALUFetchRatio = cfg.Ratio
-				k, err := kerngen.ALUFetch(p)
+				k, err := s.generate(pipeline.GenALUFetch, p)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -240,7 +241,7 @@ func (s *Suite) ConstantsSweep(cfg ConstantsConfig) (*report.Figure, []Run, erro
 			p := card.params(cfg.Inputs, 1, il.TextureSpace, il.TextureSpace)
 			p.ALUOps = cfg.ALUOps
 			p.Constants = n
-			k, err := kerngen.Generic(p)
+			k, err := s.generate(pipeline.GenGeneric, p)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -298,7 +299,7 @@ func (s *Suite) AblationStudy() ([]AblationResult, error) {
 	}
 
 	// 1. Latency hiding via clause switching.
-	regK, err := kerngen.RegisterUsage(kerngen.Params{
+	regK, err := s.generate(pipeline.GenRegisterUsage, kerngen.Params{
 		Mode: il.Pixel, Type: il.Float, Inputs: 64, Outputs: 1,
 		ALUFetchRatio: 1.0, Space: 8, Step: 6,
 	})
@@ -322,7 +323,7 @@ func (s *Suite) AblationStudy() ([]AblationResult, error) {
 	})
 
 	// 2. Burst writes.
-	wK, err := kerngen.WriteLatency(kerngen.Params{
+	wK, err := s.generate(pipeline.GenWriteLatency, kerngen.Params{
 		Mode: il.Pixel, Type: il.Float4, Inputs: 8, Outputs: 8,
 		OutSpace: il.GlobalSpace,
 	})
@@ -346,7 +347,7 @@ func (s *Suite) AblationStudy() ([]AblationResult, error) {
 	})
 
 	// 3. Tiled texture layout.
-	fK, err := kerngen.ALUFetch(kerngen.Params{
+	fK, err := s.generate(pipeline.GenALUFetch, kerngen.Params{
 		Mode: il.Pixel, Type: il.Float, Inputs: 16, Outputs: 1, ALUFetchRatio: 0.25,
 	})
 	if err != nil {
@@ -369,7 +370,7 @@ func (s *Suite) AblationStudy() ([]AblationResult, error) {
 	})
 
 	// 4 & 5. Compiler forwarding paths: registers and occupancy.
-	gK, err := kerngen.Generic(kerngen.Params{
+	gK, err := s.generate(pipeline.GenGeneric, kerngen.Params{
 		Mode: il.Pixel, Type: il.Float, Inputs: 8, Outputs: 1, ALUFetchRatio: 4.0,
 	})
 	if err != nil {

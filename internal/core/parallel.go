@@ -43,9 +43,9 @@ func (s *Suite) workers() int {
 var errLaunchPanic = errors.New("panic during launch")
 
 // runPoints times every point and returns the runs in input order.
-// Device contexts are created up front because the lazy context map is
-// not safe for concurrent mutation; the contexts themselves are
-// read-only during launches.
+// Device contexts are created up front so a bad card fails the sweep
+// before any worker starts; the context map itself is safe for
+// concurrent lookup and the contexts are read-only during launches.
 //
 // Failure policy, per the cal taxonomy: transient launch failures retry
 // up to s.Retries times with doubling backoff; timeouts, exhausted

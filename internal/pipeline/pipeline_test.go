@@ -1,0 +1,397 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/raster"
+	"amdgpubench/internal/sim"
+)
+
+func testParams() kerngen.Params {
+	return kerngen.Params{
+		Mode: il.Pixel, Type: il.Float, Inputs: 4, Outputs: 1,
+		ALUFetchRatio: 1.0,
+	}
+}
+
+func testSimConfig(t *testing.T, p *Pipeline, params kerngen.Params) sim.Config {
+	t.Helper()
+	spec := device.Lookup(device.RV770)
+	k, err := p.Generate(GenALUFetch, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := p.Compile(k, spec, ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		Spec: spec, Prog: prog, Order: raster.PixelOrder(),
+		W: 256, H: 256, Iterations: 1,
+	}
+}
+
+func TestGenerateMemoized(t *testing.T) {
+	p := New(Options{})
+	k1, err := p.Generate(GenALUFetch, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := p.Generate(GenALUFetch, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("identical (generator, params) should share one kernel artifact")
+	}
+	st := p.Stats().Stage("generate")
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("generate stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
+	}
+	// A different generator over the same params is a different artifact.
+	k3, err := p.Generate(GenReadLatency, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3 == k1 {
+		t.Error("different generators must not collide")
+	}
+}
+
+func TestCompileMemoizedByContent(t *testing.T) {
+	p := New(Options{})
+	spec := device.Lookup(device.RV770)
+	// Two structurally identical kernels from independent kerngen calls:
+	// distinct pointers, identical IL text.
+	k1, err := kerngen.ALUFetch(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := kerngen.ALUFetch(testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("test wants distinct kernel pointers")
+	}
+	p1, err := p.Compile(k1, spec, ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Compile(k2, spec, ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("same IL content on the same device must share one compiled artifact")
+	}
+	// Different compiler options are a different content address.
+	p3, err := p.Compile(k1, spec, ilc.Options{NoClauseTemps: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("ablated compile must not be served from the unablated artifact")
+	}
+	// Different architecture too.
+	p4, err := p.Compile(k1, device.Lookup(device.RV870), ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p4 == p1 {
+		t.Error("different arch must not share compiled artifacts")
+	}
+	st := p.Stats().Stage("compile")
+	if st.Hits != 1 || st.Misses != 3 {
+		t.Errorf("compile stats = %d hits / %d misses, want 1/3", st.Hits, st.Misses)
+	}
+}
+
+func TestSimulateMatchesDirectRunAndMemoizes(t *testing.T) {
+	p := New(Options{})
+	cfg := testSimConfig(t, p, testParams())
+
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := p.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != want {
+		t.Errorf("pipeline result differs from direct sim.Run:\n got %+v\nwant %+v", got1, want)
+	}
+	got2, err := p.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want {
+		t.Error("cached result differs from computed result")
+	}
+	st := p.Stats().Stage("simulate")
+	if st.Hits != 1 || st.Misses != 1 || st.Bypassed != 0 {
+		t.Errorf("simulate stats = %d hits / %d misses / %d bypassed, want 1/1/0",
+			st.Hits, st.Misses, st.Bypassed)
+	}
+	// Ablations are part of the content address.
+	abl := cfg
+	abl.Ablate.SingleWavefront = true
+	ra, err := p.Simulate(abl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra == want {
+		t.Error("ablated simulation must not be served from the unablated artifact")
+	}
+}
+
+func TestFaultedSimulationBypassesResultStore(t *testing.T) {
+	p := New(Options{})
+	cfg := testSimConfig(t, p, testParams())
+
+	nominal, err := p.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	throttled := cfg
+	throttled.ClockFactor = 0.5
+	for i := 0; i < 2; i++ {
+		res, err := p.Simulate(throttled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Seconds <= nominal.Seconds {
+			t.Error("throttled run should be slower than nominal")
+		}
+	}
+	st := p.Stats().Stage("simulate")
+	if st.Bypassed != 2 {
+		t.Errorf("throttled runs bypassed = %d, want 2", st.Bypassed)
+	}
+	// The throttled result must not have poisoned the store: the nominal
+	// config still serves the nominal artifact.
+	again, err := p.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != nominal {
+		t.Error("nominal artifact corrupted by a faulted run")
+	}
+
+	// A hang faults the launch into the watchdog; the error is returned
+	// every time, never cached.
+	hung := cfg
+	hung.Hang = &sim.HangFault{Clause: 0}
+	hung.Watchdog = 1 << 20
+	for i := 0; i < 2; i++ {
+		var wde *sim.WatchdogError
+		if _, err := p.Simulate(hung); !errors.As(err, &wde) {
+			t.Fatalf("hung simulation error = %v, want WatchdogError", err)
+		}
+	}
+	if st := p.Stats().Stage("simulate"); st.Bypassed != 4 {
+		t.Errorf("bypassed = %d after hangs, want 4", st.Bypassed)
+	}
+}
+
+func TestReplayArtifactSharedAcrossALUVariants(t *testing.T) {
+	p := New(Options{})
+	// Same fetch signature (4 inputs, same domain/order), different ALU
+	// op counts: distinct compile artifacts, one replay artifact.
+	pa := testParams()
+	pb := testParams()
+	pb.ALUFetchRatio = 2.0
+	cfgA := testSimConfig(t, p, pa)
+	cfgB := testSimConfig(t, p, pb)
+	if cfgA.Prog == cfgB.Prog {
+		t.Fatal("test wants distinct programs")
+	}
+	if _, err := p.Simulate(cfgA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Simulate(cfgB); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats().Stage("replay")
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("replay stats = %d hits / %d misses, want 1 hit / 1 miss (shared fetch trace)", st.Hits, st.Misses)
+	}
+}
+
+func TestDisabledPipelineRecomputesEverything(t *testing.T) {
+	p := New(Options{Disabled: true})
+	spec := device.Lookup(device.RV770)
+	k, err := p.Generate(GenALUFetch, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := p.Compile(k, spec, ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Compile(k, spec, ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("disabled pipeline must recompile")
+	}
+	cfg := sim.Config{Spec: spec, Prog: p1, Order: raster.PixelOrder(), W: 256, H: 256, Iterations: 1}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Error("disabled pipeline result differs from direct sim.Run")
+	}
+	st := p.Stats()
+	if st.Enabled {
+		t.Error("Stats().Enabled should be false")
+	}
+	if s := st.Stage("compile"); s.Hits != 0 || s.Misses != 2 {
+		t.Errorf("disabled compile stats = %d hits / %d misses, want 0/2", s.Hits, s.Misses)
+	}
+	if s := st.Stage("simulate"); s.Bypassed != 1 {
+		t.Errorf("disabled simulate bypassed = %d, want 1", s.Bypassed)
+	}
+}
+
+func TestStoreSingleflightComputesOnce(t *testing.T) {
+	s := newStore[int, int](8, false, nil)
+	const waiters = 16
+	computing := make(chan struct{})
+	release := make(chan struct{})
+	var calls int
+	var wg sync.WaitGroup
+	// One goroutine enters the computation and parks; every other get of
+	// the same key must wait for it rather than compute again.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.get(1, func() (int, error) {
+			calls++ // safe: singleflight admits one computation
+			close(computing)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-computing
+	results := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := s.get(1, func() (int, error) {
+				t.Error("second computation admitted for an in-flight key")
+				return 0, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}()
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+	for v := range results {
+		if v != 42 {
+			t.Errorf("waiter got %d, want 42", v)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("compute ran %d times, want 1", calls)
+	}
+	// A waiter that arrived while the computation was parked is coalesced;
+	// one that arrived after it completed is a plain hit. Either way no
+	// waiter recomputed.
+	if got := s.coalesced.Load() + s.hits.Load(); got != waiters {
+		t.Errorf("coalesced+hits = %d, want %d", got, waiters)
+	}
+}
+
+func TestStoreLRUEvictionIsBounded(t *testing.T) {
+	var evicted []int
+	s := newStore[int, int](2, false, func(k, _ int) { evicted = append(evicted, k) })
+	mustGet := func(k int) {
+		t.Helper()
+		if _, err := s.get(k, func() (int, error) { return k * 10, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(1)
+	mustGet(2)
+	mustGet(1) // refresh 1; 2 is now least recently used
+	mustGet(3) // evicts 2
+	if s.len() != 2 {
+		t.Errorf("store holds %d entries, want 2", s.len())
+	}
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Errorf("evicted = %v, want [2]", evicted)
+	}
+	mustGet(2) // must recompute
+	if got := s.misses.Load(); got != 4 {
+		t.Errorf("misses = %d, want 4 (1, 2, 3, and re-computed 2)", got)
+	}
+	if got := s.evictions.Load(); got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+}
+
+func TestStoreNeverCachesErrors(t *testing.T) {
+	s := newStore[int, int](8, false, nil)
+	boom := errors.New("boom")
+	if _, err := s.get(1, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := s.get(1, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error = %d, %v; want 7, nil", v, err)
+	}
+	if s.len() != 1 {
+		t.Errorf("store holds %d entries, want 1 (errors are not stored)", s.len())
+	}
+}
+
+func TestCompileEvictionDropsContentAddress(t *testing.T) {
+	p := New(Options{CompileEntries: 1})
+	spec := device.Lookup(device.RV770)
+	ka, err := p.Generate(GenALUFetch, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := testParams()
+	pb.Inputs = 6
+	kb, err := p.Generate(GenALUFetch, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progA, err := p.Compile(ka, spec, ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.hashOf(progA); !ok {
+		t.Fatal("freshly compiled program should be content-addressed")
+	}
+	if _, err := p.Compile(kb, spec, ilc.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// progA was evicted from the one-entry store; its identity entry
+	// must be gone too, so the simulate stage bypasses rather than keys
+	// on a stale address.
+	if _, ok := p.hashOf(progA); ok {
+		t.Error("evicted program still content-addressed; progHash leaks")
+	}
+}

@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// store is a bounded, content-addressed artifact store: an LRU map with
+// singleflight deduplication. Concurrent gets of the same key share one
+// computation — the worker pool behind a sweep never compiles or replays
+// the same artifact twice at the same time — and completed artifacts are
+// retained up to max entries, evicting least-recently-used first.
+//
+// Values must be immutable once stored: every hit returns the same
+// artifact to every caller.
+type store[K comparable, V any] struct {
+	max      int
+	disabled bool
+	// onEvict, when non-nil, runs (with mu held) for every evicted
+	// entry; it must not re-enter the store.
+	onEvict func(K, V)
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	items    map[K]*list.Element
+	inflight map[K]*call[V]
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+	computeNS atomic.Int64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// call is one in-flight computation; waiters block on done.
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+func newStore[K comparable, V any](max int, disabled bool, onEvict func(K, V)) *store[K, V] {
+	return &store[K, V]{
+		max:      max,
+		disabled: disabled,
+		onEvict:  onEvict,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+		inflight: make(map[K]*call[V]),
+	}
+}
+
+// get returns the artifact for k, computing it at most once across
+// concurrent callers. Errors are returned to every waiter but never
+// cached: a failed computation retries on the next get.
+func (s *store[K, V]) get(k K, compute func() (V, error)) (V, error) {
+	if s.disabled {
+		start := time.Now()
+		v, err := compute()
+		s.computeNS.Add(time.Since(start).Nanoseconds())
+		s.misses.Add(1)
+		return v, err
+	}
+
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.ll.MoveToFront(el)
+		v := el.Value.(*entry[K, V]).val
+		s.mu.Unlock()
+		s.hits.Add(1)
+		return v, nil
+	}
+	if c, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		<-c.done
+		s.coalesced.Add(1)
+		return c.val, c.err
+	}
+	c := &call[V]{done: make(chan struct{})}
+	s.inflight[k] = c
+	s.mu.Unlock()
+
+	start := time.Now()
+	c.val, c.err = compute()
+	s.computeNS.Add(time.Since(start).Nanoseconds())
+	s.misses.Add(1)
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if c.err == nil {
+		s.items[k] = s.ll.PushFront(&entry[K, V]{key: k, val: c.val})
+		for s.max > 0 && s.ll.Len() > s.max {
+			back := s.ll.Back()
+			e := back.Value.(*entry[K, V])
+			s.ll.Remove(back)
+			delete(s.items, e.key)
+			s.evictions.Add(1)
+			if s.onEvict != nil {
+				s.onEvict(e.key, e.val)
+			}
+		}
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.val, c.err
+}
+
+// len returns the number of resident artifacts.
+func (s *store[K, V]) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ll.Len()
+}
+
+func (s *store[K, V]) stats(stage string) StageStats {
+	return StageStats{
+		Stage:       stage,
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Coalesced:   s.coalesced.Load(),
+		Evictions:   s.evictions.Load(),
+		Entries:     s.len(),
+		ComputeTime: time.Duration(s.computeNS.Load()),
+	}
+}

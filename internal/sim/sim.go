@@ -106,6 +106,43 @@ type Config struct {
 	// throttle event; 0 or 1 means nominal. Cycle counts are unaffected,
 	// only Seconds stretches.
 	ClockFactor float64
+	// Trace, when non-nil, supplies precomputed cache-replay statistics
+	// for the program's texture fetch stream; nil replays the trace
+	// internally. The stats must come from a replay of exactly the
+	// configuration TraceConfigFor derives — the staged pipeline uses
+	// this to serve memoized replay artifacts into the simulation.
+	Trace *cache.TraceStats
+}
+
+// TraceConfigFor derives the cache-replay configuration a simulation
+// implies: the fetch signature of the compiled program (how many cached
+// texture fetches, at what element size) combined with the domain walk,
+// the resident-wavefront window and the cache-relevant ablations. It is
+// the pipeline's Trace stage. ok is false when the program issues no
+// cached texture fetches — such kernels have no replay stage — or the
+// config is too malformed to trace.
+func TraceConfigFor(cfg Config) (cache.TraceConfig, bool) {
+	if cfg.Prog == nil || cfg.W <= 0 || cfg.H <= 0 {
+		return cache.TraceConfig{}, false
+	}
+	texFetches, elem := textureFootprint(cfg.Prog)
+	if texFetches == 0 {
+		return cache.TraceConfig{}, false
+	}
+	waves := cfg.Spec.WavefrontsForGPRs(cfg.Prog.GPRCount)
+	if cfg.Ablate.SingleWavefront {
+		waves = 1
+	}
+	return cache.TraceConfig{
+		Spec:          cfg.Spec,
+		Order:         cfg.Order,
+		W:             cfg.W,
+		H:             cfg.H,
+		ElemBytes:     elem,
+		NumInputs:     texFetches,
+		ResidentWaves: waves,
+		LinearLayout:  cfg.Ablate.LinearTextures,
+	}, true
 }
 
 // Counters holds per-resource busy cycles for one steady-state batch.
@@ -207,22 +244,18 @@ func Run(cfg Config) (Result, error) {
 	}
 	res.TotalWaves = cfg.Order.WavefrontCount(cfg.W, cfg.H)
 
-	// Texture-path statistics from the trace-driven cache replay.
-	texFetches, elem := textureFootprint(cfg.Prog)
+	// Texture-path statistics from the trace-driven cache replay: either
+	// the pipeline's memoized replay artifact, or a fresh replay of the
+	// fetch trace TraceConfigFor derives.
 	var trace cache.TraceStats
-	if texFetches > 0 {
-		trace, err = cache.Replay(cache.TraceConfig{
-			Spec:          cfg.Spec,
-			Order:         cfg.Order,
-			W:             cfg.W,
-			H:             cfg.H,
-			ElemBytes:     elem,
-			NumInputs:     texFetches,
-			ResidentWaves: res.WavesPerSIMD,
-			LinearLayout:  cfg.Ablate.LinearTextures,
-		})
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: %w", err)
+	if tc, ok := TraceConfigFor(cfg); ok {
+		if cfg.Trace != nil {
+			trace = *cfg.Trace
+		} else {
+			trace, err = cache.Replay(tc)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: %w", err)
+			}
 		}
 		res.HitRate = trace.HitRate()
 	}
