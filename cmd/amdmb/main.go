@@ -23,6 +23,8 @@
 //	                   'seed=42;hang:prob=0.01;transient:prob=0.05'
 //	-cache-stats       print the pipeline's per-stage artifact-cache counters
 //	-no-cache          disable content-addressed artifact caching (recompute all)
+//	-cpuprofile file   write a CPU profile of the run (go tool pprof format)
+//	-memprofile file   write a heap profile on exit (go tool pprof format)
 //
 // Exit status: 0 on success, 1 on a fatal error, 2 on usage errors, 3
 // when the sweeps completed but recorded per-point failures (printed in
@@ -35,6 +37,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -61,6 +65,8 @@ type cli struct {
 	faults     string
 	cacheStats bool
 	noCache    bool
+	cpuprofile string
+	memprofile string
 
 	out    io.Writer
 	errOut io.Writer
@@ -224,6 +230,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.faults, "faults", "", "deterministic fault-injection plan, e.g. 'seed=42;hang:prob=0.01;transient:prob=0.05'")
 	fs.BoolVar(&c.cacheStats, "cache-stats", false, "print the pipeline's per-stage artifact-cache counters after the experiments")
 	fs.BoolVar(&c.noCache, "no-cache", false, "disable content-addressed artifact caching (every stage recomputes)")
+	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -260,6 +268,32 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	sort.Strings(selected)
 
+	// Profiles cover the experiment runs only, not flag parsing; both are
+	// finalized before run returns so main's os.Exit never truncates them.
+	if c.cpuprofile != "" {
+		f, err := os.Create(c.cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "amdmb: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "amdmb: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if c.memprofile != "" {
+		defer func() {
+			if err := writeMemProfile(c.memprofile); err != nil {
+				fmt.Fprintf(stderr, "amdmb: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	s := core.NewSuite()
 	s.Iterations = c.iters
 	s.Retries = c.retries
@@ -290,6 +324,21 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		return 3
 	}
 	return 0
+}
+
+// writeMemProfile snapshots the heap after a final GC, so the profile
+// reflects live retention rather than garbage awaiting collection.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func main() {

@@ -138,6 +138,30 @@ func TestCheckpointResumeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestProfileFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	code, _, stderr := runCLI(t, "-cpuprofile", cpu, "-memprofile", mem, "-iters", "1", "fig13")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	// A CPU profile sink that cannot be created is a usage error.
+	code, _, stderr = runCLI(t, "-cpuprofile", filepath.Join(dir, "no", "such", "dir.prof"), "fig13")
+	if code != 2 || !strings.Contains(stderr, "cpuprofile") {
+		t.Errorf("bad -cpuprofile path: exit %d, stderr %q", code, stderr)
+	}
+}
+
 func TestWriteFigureFiles(t *testing.T) {
 	dir := t.TempDir()
 	code, _, stderr := runCLI(t, "-iters", "1", "-o", dir, "fig13")

@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/raster"
+)
+
+// Replay's allocations are a fixed, small setup cost — the two cache
+// models, the open-row tracker and the precomputed lane-offset table —
+// independent of how many fetches the replay streams. The budget pins
+// that: a regression that allocates per access or per wavefront blows
+// straight through it.
+func TestReplayAllocs(t *testing.T) {
+	cfg := TraceConfig{
+		Spec:          device.Lookup(device.RV770),
+		Order:         raster.PixelOrder(),
+		W:             256,
+		H:             256,
+		ElemBytes:     4,
+		NumInputs:     8,
+		ResidentWaves: 16,
+	}
+	if _, err := Replay(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := Replay(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 3 Cache structs + 3 tag arrays + waves + offs + small slack.
+	if allocs > 12 {
+		t.Errorf("Replay allocates %.1f objects/op, want <= 12 (fixed setup only)", allocs)
+	}
+}

@@ -7,22 +7,30 @@
 // — through this model.
 package cache
 
-import "fmt"
-
-type line struct {
-	tag   uint64
-	valid bool
-	// lastUse is a logical timestamp for LRU replacement.
-	lastUse uint64
-}
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Cache is a set-associative LRU cache.
 type Cache struct {
 	lineBytes int
 	ways      int
 	sets      int
-	lines     []line // sets * ways, set-major
-	clock     uint64
+	// tags holds each set's ways as line address + 1 (0 marks an invalid
+	// way), stored set-major and kept in MRU-to-LRU order: a hit rotates
+	// the touched way to the front, a miss evicts the tail. Because every
+	// access gets a unique logical timestamp, this recency ordering is
+	// exactly equivalent to timestamp-based LRU — and an 8-way set probe
+	// plus its bookkeeping touches a single 64-byte host cache line.
+	tags []uint64
+
+	// pow2 geometry fast path: every GPU in the suite has power-of-two
+	// line sizes and set counts, turning the per-access divide and modulo
+	// into a shift and a mask.
+	pow2      bool
+	lineShift uint
+	setMask   uint64
 
 	hits, misses uint64
 }
@@ -37,37 +45,66 @@ func New(totalBytes, lineBytes, ways int) (*Cache, error) {
 		return nil, fmt.Errorf("cache: %dB does not tile into %dB lines x %d ways", totalBytes, lineBytes, ways)
 	}
 	sets := totalBytes / (lineBytes * ways)
-	return &Cache{
+	c := &Cache{
 		lineBytes: lineBytes,
 		ways:      ways,
 		sets:      sets,
-		lines:     make([]line, sets*ways),
-	}, nil
+		tags:      make([]uint64, sets*ways),
+	}
+	if isPow2(lineBytes) && isPow2(sets) {
+		c.pow2 = true
+		c.lineShift = uint(bits.TrailingZeros(uint(lineBytes)))
+		c.setMask = uint64(sets - 1)
+	}
+	return c, nil
+}
+
+func isPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// lineOf returns the line-granular address of a byte address.
+func (c *Cache) lineOf(addr uint64) uint64 {
+	if c.pow2 {
+		return addr >> c.lineShift
+	}
+	return addr / uint64(c.lineBytes)
 }
 
 // Access touches one byte address and reports whether it hit. A miss
 // installs the line, evicting the set's LRU way.
 func (c *Cache) Access(addr uint64) bool {
-	c.clock++
-	lineAddr := addr / uint64(c.lineBytes)
-	set := int(lineAddr % uint64(c.sets))
+	return c.accessLine(c.lineOf(addr))
+}
+
+// accessLine touches one line-granular address. The set's ways are kept
+// in MRU-to-LRU order, so a hit rotates the touched way to the front and
+// a miss evicts the tail — the least recently used way, or an invalid one
+// (never touched, hence at the tail) while the set is still filling. Each
+// access has a unique logical time, so this is exactly LRU replacement.
+func (c *Cache) accessLine(lineAddr uint64) bool {
+	var set int
+	if c.pow2 {
+		set = int(lineAddr & c.setMask)
+	} else {
+		set = int(lineAddr % uint64(c.sets))
+	}
 	base := set * c.ways
-	victim := base
-	for i := base; i < base+c.ways; i++ {
-		l := &c.lines[i]
-		if l.valid && l.tag == lineAddr {
-			l.lastUse = c.clock
+	tags := c.tags[base : base+c.ways : base+c.ways]
+	want := lineAddr + 1
+	if tags[0] == want { // re-access of the MRU way: nothing to reorder
+		c.hits++
+		return true
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i] == want {
 			c.hits++
+			copy(tags[1:i+1], tags[:i])
+			tags[0] = want
 			return true
-		}
-		if !l.valid {
-			victim = i
-		} else if c.lines[victim].valid && l.lastUse < c.lines[victim].lastUse {
-			victim = i
 		}
 	}
 	c.misses++
-	c.lines[victim] = line{tag: lineAddr, valid: true, lastUse: c.clock}
+	copy(tags[1:], tags)
+	tags[0] = want
 	return false
 }
 
@@ -79,10 +116,10 @@ func (c *Cache) AccessRange(addr uint64, size int) (hits, misses int) {
 	if size <= 0 {
 		return 0, 0
 	}
-	first := addr / uint64(c.lineBytes)
-	last := (addr + uint64(size) - 1) / uint64(c.lineBytes)
+	first := c.lineOf(addr)
+	last := c.lineOf(addr + uint64(size) - 1)
 	for l := first; l <= last; l++ {
-		if c.Access(l * uint64(c.lineBytes)) {
+		if c.accessLine(l) {
 			hits++
 		} else {
 			misses++
@@ -105,10 +142,8 @@ func (c *Cache) HitRate() float64 {
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = line{}
-	}
-	c.clock, c.hits, c.misses = 0, 0, 0
+	clear(c.tags)
+	c.hits, c.misses = 0, 0
 }
 
 // LineBytes returns the configured line size.

@@ -5,6 +5,7 @@ import (
 
 	"amdgpubench/internal/device"
 	"amdgpubench/internal/il"
+	"amdgpubench/internal/report"
 )
 
 // TestParallelSweepDeterministic proves the README's guarantee: the
@@ -61,6 +62,44 @@ func TestCachedSweepBitIdenticalToUncached(t *testing.T) {
 	if got := run(8, false); got != uncachedSerial {
 		t.Fatalf("cached 8-worker figure differs from uncached serial figure:\n%s\nvs:\n%s",
 			got, uncachedSerial)
+	}
+}
+
+// TestStructuralHashCacheBitIdenticalAcrossFigures extends the caching
+// guarantee beyond the ALU:Fetch sweep to figures that exercise the other
+// pipeline stage shapes — compute-mode block walks (Fig. 8), latency
+// chains (Fig. 11) and register-pressure variants (Fig. 16). The compile
+// store is keyed by the kernel's structural hash, not its assembled text;
+// this is the end-to-end check that hash-keyed artifact reuse serves
+// results byte-equal to recomputing every stage from scratch.
+func TestStructuralHashCacheBitIdenticalAcrossFigures(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(*Suite) (*report.Figure, []Run, error)
+	}{
+		{"fig8", (*Suite).Fig8},
+		{"fig11", (*Suite).Fig11},
+		{"fig16", (*Suite).Fig16},
+	}
+	for _, f := range figures {
+		t.Run(f.name, func(t *testing.T) {
+			render := func(disableCache bool) string {
+				s := NewSuite()
+				s.Iterations = 1
+				s.DisableArtifactCache = disableCache
+				fig, _, err := f.run(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return fig.CSV()
+			}
+			cached := render(false)
+			uncached := render(true)
+			if cached != uncached {
+				t.Errorf("hash-keyed cached figure differs from uncached:\n%s\nvs:\n%s",
+					cached, uncached)
+			}
+		})
 	}
 }
 

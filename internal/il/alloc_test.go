@@ -1,0 +1,25 @@
+package il
+
+import "testing"
+
+// The assembler and hasher sit on the launch hot path: both must stay
+// allocation-free in steady state (Assemble's one allocation is the
+// returned string itself; the work buffers are pooled).
+
+func TestAssembleAllocs(t *testing.T) {
+	k := goldenPixel()
+	Assemble(k) // warm the buffer pool
+	allocs := testing.AllocsPerRun(100, func() { Assemble(k) })
+	if allocs > 1 {
+		t.Errorf("Assemble allocates %.1f objects/op, want <= 1 (the returned string)", allocs)
+	}
+}
+
+func TestHashAllocs(t *testing.T) {
+	k := goldenCompute()
+	k.Hash() // warm the encode-buffer pool
+	allocs := testing.AllocsPerRun(100, func() { k.Hash() })
+	if allocs > 0 {
+		t.Errorf("Hash allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,79 @@
+package il
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"sync"
+)
+
+// hashEncodingVersion tags the canonical binary encoding; bump it whenever
+// the Kernel struct gains a field that must participate in the content
+// address, so stale cross-version hashes can never collide with new ones.
+const hashEncodingVersion = 1
+
+// encodeBufPool recycles the scratch buffers Hash encodes kernels into.
+var encodeBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 2048); return &b },
+}
+
+// AppendBinary appends the kernel's canonical fixed binary encoding to dst
+// and returns the extended slice. The encoding is injective: the name is
+// length-prefixed and every other field is fixed-width, so two structurally
+// different kernels always encode to different byte strings. That makes
+// Hash exactly as collision-resistant as SHA-256 itself, without ever
+// rendering the kernel to assembly text.
+func (k *Kernel) AppendBinary(dst []byte) []byte {
+	var scratch [10 * 8]byte
+	le := binary.LittleEndian
+
+	dst = append(dst, hashEncodingVersion)
+	le.PutUint64(scratch[:], uint64(len(k.Name)))
+	dst = append(dst, scratch[:8]...)
+	dst = append(dst, k.Name...)
+
+	le.PutUint64(scratch[0:], uint64(k.Mode))
+	le.PutUint64(scratch[8:], uint64(k.Type))
+	le.PutUint64(scratch[16:], uint64(int64(k.NumInputs)))
+	le.PutUint64(scratch[24:], uint64(int64(k.NumOutputs)))
+	le.PutUint64(scratch[32:], uint64(k.InputSpace))
+	le.PutUint64(scratch[40:], uint64(k.OutSpace))
+	le.PutUint64(scratch[48:], uint64(int64(k.NumConsts)))
+	le.PutUint64(scratch[56:], uint64(int64(len(k.Code))))
+	dst = append(dst, scratch[:64]...)
+
+	for i := range k.Code {
+		in := &k.Code[i]
+		le.PutUint64(scratch[0:], uint64(in.Op))
+		le.PutUint64(scratch[8:], uint64(int64(in.Dst)))
+		le.PutUint64(scratch[16:], uint64(int64(in.SrcA)))
+		le.PutUint64(scratch[24:], uint64(int64(in.SrcB)))
+		le.PutUint64(scratch[32:], uint64(int64(in.Res)))
+		dst = append(dst, scratch[:40]...)
+	}
+	return dst
+}
+
+// Hash returns the kernel's structural content address: the SHA-256 of its
+// canonical binary encoding. It is the compile pipeline's cache key — two
+// kernels share a hash exactly when Assemble would render them to identical
+// text, but computing it does no text serialization and, in steady state,
+// no allocation.
+func (k *Kernel) Hash() [sha256.Size]byte {
+	bp := encodeBufPool.Get().(*[]byte)
+	b := k.AppendBinary((*bp)[:0])
+	sum := sha256.Sum256(b)
+	*bp = b
+	encodeBufPool.Put(bp)
+	return sum
+}
+
+// HashInto streams the kernel's canonical binary encoding into an
+// incremental hash, for callers folding a kernel into a larger digest.
+func (k *Kernel) HashInto(h hash.Hash) {
+	bp := encodeBufPool.Get().(*[]byte)
+	b := k.AppendBinary((*bp)[:0])
+	h.Write(b)
+	*bp = b
+	encodeBufPool.Put(bp)
+}

@@ -10,7 +10,10 @@
 // compiler exact rather than approximate.
 package il
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // DataType is the element type of a kernel's inputs and outputs. The paper
 // runs every micro-benchmark for both float and float4; the dependency
@@ -126,7 +129,7 @@ const (
 	OpGlobalStore
 )
 
-var opNames = map[Opcode]string{
+var opNames = [...]string{
 	OpSample:      "sample",
 	OpGlobalLoad:  "gload",
 	OpAdd:         "add",
@@ -143,10 +146,10 @@ var opNames = map[Opcode]string{
 
 // String returns the assembly mnemonic.
 func (o Opcode) String() string {
-	if n, ok := opNames[o]; ok {
-		return n
+	if o >= 0 && int(o) < len(opNames) {
+		return opNames[o]
 	}
-	return fmt.Sprintf("op(%d)", int(o))
+	return "op(" + strconv.Itoa(int(o)) + ")"
 }
 
 // IsFetch reports whether the opcode reads an input resource.
@@ -188,7 +191,7 @@ func (o Opcode) NumSrcs() int {
 type Reg int
 
 // String returns the assembly spelling, e.g. "r12".
-func (r Reg) String() string { return fmt.Sprintf("r%d", int(r)) }
+func (r Reg) String() string { return "r" + strconv.Itoa(int(r)) }
 
 // NoReg marks an unused operand slot.
 const NoReg Reg = -1
@@ -203,24 +206,68 @@ type Instr struct {
 }
 
 // String renders the instruction in assembly form.
-func (in Instr) String() string {
+func (in Instr) String() string { return string(appendInstr(nil, in)) }
+
+// appendInstr appends the instruction's assembly form to dst. It is the
+// shared renderer behind Instr.String and Assemble; keeping it fmt-free
+// keeps kernel serialization off the allocator.
+func appendInstr(dst []byte, in Instr) []byte {
+	appendReg := func(dst []byte, r Reg) []byte {
+		dst = append(dst, 'r')
+		return strconv.AppendInt(dst, int64(r), 10)
+	}
 	switch in.Op {
 	case OpSample:
-		return fmt.Sprintf("sample_resource(%d) %s, vWinCoord0", in.Res, in.Dst)
+		dst = append(dst, "sample_resource("...)
+		dst = strconv.AppendInt(dst, int64(in.Res), 10)
+		dst = append(dst, ") "...)
+		dst = appendReg(dst, in.Dst)
+		dst = append(dst, ", vWinCoord0"...)
 	case OpGlobalLoad:
-		return fmt.Sprintf("gload_buffer(%d) %s, vTid", in.Res, in.Dst)
+		dst = append(dst, "gload_buffer("...)
+		dst = strconv.AppendInt(dst, int64(in.Res), 10)
+		dst = append(dst, ") "...)
+		dst = appendReg(dst, in.Dst)
+		dst = append(dst, ", vTid"...)
 	case OpAdd, OpSub, OpMul:
-		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.SrcA, in.SrcB)
+		dst = append(dst, in.Op.String()...)
+		dst = append(dst, ' ')
+		dst = appendReg(dst, in.Dst)
+		dst = append(dst, ", "...)
+		dst = appendReg(dst, in.SrcA)
+		dst = append(dst, ", "...)
+		dst = appendReg(dst, in.SrcB)
 	case OpMov, OpRcp, OpRsq:
-		return fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.SrcA)
+		dst = append(dst, in.Op.String()...)
+		dst = append(dst, ' ')
+		dst = appendReg(dst, in.Dst)
+		dst = append(dst, ", "...)
+		dst = appendReg(dst, in.SrcA)
 	case OpAddC, OpMulC:
-		return fmt.Sprintf("%s %s, %s, cb0[%d]", in.Op, in.Dst, in.SrcA, in.Res)
+		dst = append(dst, in.Op.String()...)
+		dst = append(dst, ' ')
+		dst = appendReg(dst, in.Dst)
+		dst = append(dst, ", "...)
+		dst = appendReg(dst, in.SrcA)
+		dst = append(dst, ", cb0["...)
+		dst = strconv.AppendInt(dst, int64(in.Res), 10)
+		dst = append(dst, ']')
 	case OpExport:
-		return fmt.Sprintf("export o%d, %s", in.Res, in.SrcA)
+		dst = append(dst, "export o"...)
+		dst = strconv.AppendInt(dst, int64(in.Res), 10)
+		dst = append(dst, ", "...)
+		dst = appendReg(dst, in.SrcA)
 	case OpGlobalStore:
-		return fmt.Sprintf("gstore_buffer(%d) %s, vTid", in.Res, in.SrcA)
+		dst = append(dst, "gstore_buffer("...)
+		dst = strconv.AppendInt(dst, int64(in.Res), 10)
+		dst = append(dst, ") "...)
+		dst = appendReg(dst, in.SrcA)
+		dst = append(dst, ", vTid"...)
+	default:
+		dst = append(dst, '?')
+		dst = append(dst, in.Op.String()...)
 	}
-	return fmt.Sprintf("?%v", in.Op)
+	return dst
 }
 
 // Kernel is a complete IL program plus its interface declarations.
@@ -263,13 +310,13 @@ func (k *Kernel) Counts() Counts {
 
 // NumTemps returns the number of distinct temporary registers written.
 func (k *Kernel) NumTemps() int {
-	max := -1
+	high := -1
 	for _, in := range k.Code {
-		if in.Dst != NoReg && int(in.Dst) > max {
-			max = int(in.Dst)
+		if in.Dst != NoReg && int(in.Dst) > high {
+			high = int(in.Dst)
 		}
 	}
-	return max + 1
+	return high + 1
 }
 
 // Validate checks that the kernel is well formed: single assignment,

@@ -5,45 +5,86 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
+// asmBufPool recycles assembly buffers: Assemble sits on the launch hot
+// path (every compile-store miss serializes its kernel), so the working
+// buffer must not be reallocated per call.
+var asmBufPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 1024); return &b },
+}
+
 // Assemble renders the kernel as IL-style assembly text. The format round
-// trips through Parse, which the property tests rely on.
+// trips through Parse, which the property tests rely on. The output is
+// pinned byte-for-byte by TestAssembleGolden; the single allocation per
+// call is the returned string itself.
 func Assemble(k *Kernel) string {
-	var b strings.Builder
-	mode := "il_ps_2_0"
+	bp := asmBufPool.Get().(*[]byte)
+	b := AppendAssemble((*bp)[:0], k)
+	s := string(b)
+	*bp = b
+	asmBufPool.Put(bp)
+	return s
+}
+
+// AppendAssemble appends the kernel's assembly text to dst and returns the
+// extended slice. It is the allocation-free core of Assemble.
+func AppendAssemble(dst []byte, k *Kernel) []byte {
 	if k.Mode == Compute {
-		mode = "il_cs_2_0"
-	}
-	fmt.Fprintf(&b, "%s ; kernel %s\n", mode, k.Name)
-	fmt.Fprintf(&b, "dcl_type %s\n", k.Type)
-	if k.Mode == Pixel {
-		fmt.Fprintln(&b, "dcl_input_position_interp(linear_noperspective) vWinCoord0")
+		dst = append(dst, "il_cs_2_0 ; kernel "...)
 	} else {
-		fmt.Fprintln(&b, "dcl_thread_id vTid")
+		dst = append(dst, "il_ps_2_0 ; kernel "...)
+	}
+	dst = append(dst, k.Name...)
+	dst = append(dst, "\ndcl_type "...)
+	dst = append(dst, k.Type.String()...)
+	if k.Mode == Pixel {
+		dst = append(dst, "\ndcl_input_position_interp(linear_noperspective) vWinCoord0\n"...)
+	} else {
+		dst = append(dst, "\ndcl_thread_id vTid\n"...)
 	}
 	for i := 0; i < k.NumInputs; i++ {
 		if k.InputSpace == TextureSpace {
-			fmt.Fprintf(&b, "dcl_resource_id(%d)_type(2d)_fmt(%s)\n", i, k.Type)
+			dst = append(dst, "dcl_resource_id("...)
+			dst = strconv.AppendInt(dst, int64(i), 10)
+			dst = append(dst, ")_type(2d)_fmt("...)
+			dst = append(dst, k.Type.String()...)
+			dst = append(dst, ")\n"...)
 		} else {
-			fmt.Fprintf(&b, "dcl_raw_uav_id(%d)_fmt(%s) ; input buffer\n", i, k.Type)
+			dst = appendRawUAV(dst, i, k.Type, " ; input buffer\n")
 		}
 	}
 	for i := 0; i < k.NumOutputs; i++ {
 		if k.OutSpace == TextureSpace {
-			fmt.Fprintf(&b, "dcl_output o%d\n", i)
+			dst = append(dst, "dcl_output o"...)
+			dst = strconv.AppendInt(dst, int64(i), 10)
+			dst = append(dst, '\n')
 		} else {
-			fmt.Fprintf(&b, "dcl_raw_uav_id(%d)_fmt(%s) ; output buffer\n", k.NumInputs+i, k.Type)
+			dst = appendRawUAV(dst, k.NumInputs+i, k.Type, " ; output buffer\n")
 		}
 	}
 	if k.NumConsts > 0 {
-		fmt.Fprintf(&b, "dcl_cb cb0[%d]\n", k.NumConsts)
+		dst = append(dst, "dcl_cb cb0["...)
+		dst = strconv.AppendInt(dst, int64(k.NumConsts), 10)
+		dst = append(dst, "]\n"...)
 	}
-	for _, in := range k.Code {
-		fmt.Fprintf(&b, "%s\n", in)
+	for i := range k.Code {
+		dst = appendInstr(dst, k.Code[i])
+		dst = append(dst, '\n')
 	}
-	fmt.Fprintln(&b, "end")
-	return b.String()
+	dst = append(dst, "end\n"...)
+	return dst
+}
+
+func appendRawUAV(dst []byte, id int, t DataType, trailer string) []byte {
+	dst = append(dst, "dcl_raw_uav_id("...)
+	dst = strconv.AppendInt(dst, int64(id), 10)
+	dst = append(dst, ")_fmt("...)
+	dst = append(dst, t.String()...)
+	dst = append(dst, ')')
+	dst = append(dst, trailer...)
+	return dst
 }
 
 // Parse reads assembly produced by Assemble back into a Kernel. It is a

@@ -559,14 +559,14 @@ func allocateGPRs(k *il.Kernel, vals []value, first, last []int) int {
 		var reg int
 		if len(free) > 0 {
 			// Reuse the smallest freed register for stable numbering.
-			min := 0
+			best := 0
 			for j := 1; j < len(free); j++ {
-				if free[j] < free[min] {
-					min = j
+				if free[j] < free[best] {
+					best = j
 				}
 			}
-			reg = free[min]
-			free = append(free[:min], free[min+1:]...)
+			reg = free[best]
+			free = append(free[:best], free[best+1:]...)
 		} else {
 			reg = next
 			next++

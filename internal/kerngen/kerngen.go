@@ -222,8 +222,8 @@ func RegisterUsage(p Params) (*il.Kernel, error) {
 		return nil, fmt.Errorf("kerngen: space %d x step %d leaves %d initial inputs (need >= 2)", p.Space, p.Step, initial)
 	}
 	ops := p.aluOps()
-	if min := p.Inputs - 1; ops < min {
-		ops = min
+	if floor := p.Inputs - 1; ops < floor {
+		ops = floor
 	}
 	blocks := p.Step + 1
 	blockALU := ops / blocks
@@ -283,8 +283,8 @@ func ClauseUsage(p Params) (*il.Kernel, error) {
 		return nil, fmt.Errorf("kerngen: space %d x step %d leaves %d initial inputs (need >= 2)", p.Space, p.Step, initial)
 	}
 	ops := p.aluOps()
-	if min := p.Inputs - 1; ops < min {
-		ops = min
+	if floor := p.Inputs - 1; ops < floor {
+		ops = floor
 	}
 	blocks := p.Step + 1
 	blockALU := ops / blocks

@@ -1,0 +1,31 @@
+package pipeline
+
+import (
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/ilc"
+)
+
+// A compile-store hit is the common case of every sweep point after the
+// first: it must do no serialization and essentially no allocation. The
+// budget admits only the memoization closure itself.
+func TestCompileHitAllocs(t *testing.T) {
+	p := New(Options{})
+	spec := device.Lookup(device.RV770)
+	k, err := p.Generate(GenALUFetch, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Compile(k, spec, ilc.Options{}); err != nil {
+		t.Fatal(err) // populate the store; everything after this is a hit
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := p.Compile(k, spec, ilc.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 {
+		t.Errorf("Compile hit allocates %.1f objects/op, want <= 2", allocs)
+	}
+}

@@ -9,8 +9,9 @@
 //	Simulate (sim)      program + replay  -> timing result
 //
 // Generate, Compile, Replay and Simulate artifacts are memoized in
-// bounded LRU stores keyed by content: compile artifacts by the SHA-256
-// of the kernel's IL text plus the device architecture, its clause
+// bounded LRU stores keyed by content: compile artifacts by the kernel's
+// structural hash (the SHA-256 of its canonical binary encoding — no
+// text round-trip) plus the device architecture, its clause
 // limits and the compiler options; replay artifacts by the fetch
 // signature of the ISA program, the raster order, the domain and the
 // cache geometry (plus cache-relevant ablations). Each store coalesces
@@ -34,6 +35,7 @@ package pipeline
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -199,13 +201,14 @@ func (p *Pipeline) Generate(g Generator, params kerngen.Params) (*il.Kernel, err
 
 // ---- Stage 2: Compile ----
 
-// compileKey is the content address of a compiled program: the SHA-256
-// of the kernel's IL text, the device architecture, the spec fields the
-// compiler actually reads (clause limits, compute support), and the
-// compiler options. Unrelated spec differences — clocks, cache sizes —
-// do not fragment the store.
+// compileKey is the content address of a compiled program: the kernel's
+// structural hash (il.Kernel.Hash — the SHA-256 of its canonical binary
+// encoding, no text serialization), the device architecture, the spec
+// fields the compiler actually reads (clause limits, compute support),
+// and the compiler options. Unrelated spec differences — clocks, cache
+// sizes — do not fragment the store.
 type compileKey struct {
-	ilHash          [sha256.Size]byte
+	kernelHash      [sha256.Size]byte
 	arch            device.Arch
 	supportsCompute bool
 	maxFetchesTEX   int
@@ -214,22 +217,37 @@ type compileKey struct {
 }
 
 // hash folds the whole key into one digest — the program's content
-// address, reused by the Simulate stage.
+// address, reused by the Simulate stage. Every non-hash field is packed
+// into a fixed-width binary trailer with explicit writes; nothing here
+// goes through reflection or text formatting.
 func (k compileKey) hash() [sha256.Size]byte {
-	h := sha256.New()
-	h.Write(k.ilHash[:])
-	fmt.Fprintf(h, "|%d|%t|%d|%d|%+v", k.arch, k.supportsCompute, k.maxFetchesTEX, k.maxSlotsALU, k.opts)
-	var out [sha256.Size]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	var buf [sha256.Size + 3*8 + 3]byte
+	copy(buf[:], k.kernelHash[:])
+	le := binary.LittleEndian
+	le.PutUint64(buf[sha256.Size:], uint64(k.arch))
+	le.PutUint64(buf[sha256.Size+8:], uint64(int64(k.maxFetchesTEX)))
+	le.PutUint64(buf[sha256.Size+16:], uint64(int64(k.maxSlotsALU)))
+	buf[sha256.Size+24] = boolByte(k.supportsCompute)
+	buf[sha256.Size+25] = boolByte(k.opts.NoPVForwarding)
+	buf[sha256.Size+26] = boolByte(k.opts.NoClauseTemps)
+	return sha256.Sum256(buf[:])
 }
 
-// Compile lowers an IL kernel for a device, memoized on the IL text hash
-// plus the compile-relevant device parameters and options. The returned
-// program is shared and immutable.
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Compile lowers an IL kernel for a device, memoized on the kernel's
+// structural hash plus the compile-relevant device parameters and
+// options. The returned program is shared and immutable. A store hit does
+// zero serialization work: the key is built from the kernel's binary
+// encoding without ever rendering IL text.
 func (p *Pipeline) Compile(k *il.Kernel, spec device.Spec, opts ilc.Options) (*isa.Program, error) {
 	key := compileKey{
-		ilHash:          sha256.Sum256([]byte(il.Assemble(k))),
+		kernelHash:      k.Hash(),
 		arch:            spec.Arch,
 		supportsCompute: spec.SupportsCompute,
 		maxFetchesTEX:   spec.MaxFetchesPerTEXClause,
@@ -243,7 +261,11 @@ func (p *Pipeline) Compile(k *il.Kernel, spec device.Spec, opts ilc.Options) (*i
 		return nil, err
 	}
 	if !p.disabled {
-		p.progHash.Store(prog, key.hash())
+		// Loading before storing keeps the hot (hit) path free of the
+		// interface boxing sync.Map.Store would do on every launch.
+		if _, ok := p.progHash.Load(prog); !ok {
+			p.progHash.Store(prog, key.hash())
+		}
 	}
 	return prog, nil
 }

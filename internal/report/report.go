@@ -233,13 +233,6 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // Crossover returns the first X at which the series' Y rises more than
 // tol above its minimum over the preceding plateau — the "bound switches
 // from fetch to ALU" point the paper reads off its ALU:Fetch figures.

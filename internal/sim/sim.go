@@ -14,8 +14,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 
 	"amdgpubench/internal/cache"
 	"amdgpubench/internal/device"
@@ -260,7 +260,15 @@ func Run(cfg Config) (Result, error) {
 		res.HitRate = trace.HitRate()
 	}
 
-	steps := buildSteps(cfg, dram, trace)
+	// The step slice is scratch: Run is on the launch hot path (every
+	// simulate-store miss lands here), so the slice is pooled rather than
+	// reallocated per call.
+	sp := stepsPool.Get().(*[]step)
+	steps := buildSteps(cfg, dram, trace, (*sp)[:0])
+	defer func() {
+		*sp = steps
+		stepsPool.Put(sp)
+	}()
 
 	// Steady-state batch on one SIMD, then replicate.
 	wavesPerSIMDTotal := ceilDiv(res.TotalWaves, cfg.Spec.SIMDEngines)
@@ -326,8 +334,17 @@ func textureFootprint(p *isa.Program) (n, elemBytes int) {
 	return n, elemBytes
 }
 
-// buildSteps converts each clause into resource costs.
-func buildSteps(cfg Config, dram *mem.DRAM, trace cache.TraceStats) []step {
+// stepsPool recycles the per-run step slices across simulations.
+var stepsPool = sync.Pool{
+	New: func() any { s := make([]step, 0, 64); return &s },
+}
+
+// buildSteps converts each clause into resource costs, appending onto
+// steps (usually a pooled slice). The trace-derived per-fetch costs —
+// fill occupancy, DRAM traffic, clause-switching latency — are the same
+// for every cached fetch of the program, so they are computed once here
+// rather than once per fetch per clause.
+func buildSteps(cfg Config, dram *mem.DRAM, trace cache.TraceStats, steps []step) []step {
 	spec := cfg.Spec
 	// Each thread processor has an odd and an even wavefront slot; with a
 	// single resident wavefront "only half the thread processor is used"
@@ -336,7 +353,28 @@ func buildSteps(cfg Config, dram *mem.DRAM, trace cache.TraceStats) []step {
 	if spec.WavefrontsForGPRs(cfg.Prog.GPRCount) < spec.SlotsPerTP || cfg.Ablate.SingleWavefront {
 		aluPenalty = 2
 	}
-	var steps []step
+
+	// Invariants of every cached (texture-path) fetch in the program.
+	// L1 refills drain through the L2; the slice the L2 cannot absorb
+	// goes to DRAM and pays row activations.
+	l2OccPerFetch := uint64(trace.MissBytesPerFetch() / float64(spec.L2BytesPerCycle))
+	memOccPerFetch := dram.TransferCycles(
+		int(trace.DRAMBytesPerFetch()),
+		trace.ActivationsPerFetch())
+	// A wavefront's TEX clause completes at its slowest fetch: with 64
+	// threads per fetch the clause all but certainly contains a miss, so
+	// the clause-switching stall is the miss latency, not the per-access
+	// average.
+	missesPerFetch := 0.0
+	if trace.FetchExecs > 0 {
+		missesPerFetch = float64(trace.Misses) / float64(trace.FetchExecs)
+	}
+	texLatency := uint64(spec.TexMissLatency)
+	if missesPerFetch < 1 {
+		texLatency = uint64(missesPerFetch*float64(spec.TexMissLatency) +
+			(1-missesPerFetch)*float64(spec.TexHitLatency))
+	}
+
 	for i := range cfg.Prog.Clauses {
 		c := &cfg.Prog.Clauses[i]
 		var s step
@@ -345,10 +383,10 @@ func buildSteps(cfg Config, dram *mem.DRAM, trace cache.TraceStats) []step {
 			s.aluOcc = uint64(len(c.Bundles) * spec.CyclesPerALUBundle() * aluPenalty)
 		case isa.ClauseTEX:
 			for _, f := range c.Fetches {
-				bytes := spec.WavefrontSize * f.ElemBytes
 				if f.Global {
 					// Uncached global read: address issue through the
 					// texture units, traffic through DRAM.
+					bytes := spec.WavefrontSize * f.ElemBytes
 					s.texOcc += 4
 					s.memOcc += dram.GlobalReadCycles(bytes)
 					if dram.ReadLatency > s.latency {
@@ -356,29 +394,11 @@ func buildSteps(cfg Config, dram *mem.DRAM, trace cache.TraceStats) []step {
 					}
 				} else {
 					s.texOcc += uint64(spec.FetchIssueCycles(f.ElemBytes))
-					// L1 refills drain through the L2; the slice the L2
-					// cannot absorb goes to DRAM and pays row activations.
-					s.l2Occ += uint64(trace.MissBytesPerFetch() / float64(spec.L2BytesPerCycle))
-					s.memOcc += dram.TransferCycles(
-						int(trace.DRAMBytesPerFetch()),
-						trace.ActivationsPerFetch())
+					s.l2Occ += l2OccPerFetch
+					s.memOcc += memOccPerFetch
 					s.isFill = true
-					// A wavefront's TEX clause completes at its slowest
-					// fetch: with 64 threads per fetch the clause all but
-					// certainly contains a miss, so the clause-switching
-					// stall is the miss latency, not the per-access
-					// average.
-					missesPerFetch := 0.0
-					if trace.FetchExecs > 0 {
-						missesPerFetch = float64(trace.Misses) / float64(trace.FetchExecs)
-					}
-					lat := uint64(spec.TexMissLatency)
-					if missesPerFetch < 1 {
-						lat = uint64(missesPerFetch*float64(spec.TexMissLatency) +
-							(1-missesPerFetch)*float64(spec.TexHitLatency))
-					}
-					if lat > s.latency {
-						s.latency = lat
+					if texLatency > s.latency {
+						s.latency = texLatency
 					}
 				}
 			}
@@ -415,23 +435,63 @@ type event struct {
 	clause int
 }
 
+// eventHeap is a concrete binary min-heap of events ordered by
+// (at, wave). It replaces container/heap: push and pop move events
+// through the backing slice directly, with no `any` boxing and no
+// interface dispatch on the hot event loop. Each wavefront has exactly
+// one event in flight, so (at, wave) keys are unique and the pop order
+// is deterministic.
 type eventHeap []event
 
-func (h eventHeap) Len() int      { return len(h) }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].wave < h[j].wave
 }
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && s.less(r, kid) {
+			kid = r
+		}
+		if !s.less(kid, i) {
+			break
+		}
+		s[i], s[kid] = s[kid], s[i]
+		i = kid
+	}
+	*h = s
+	return top
+}
+
+// heapPool recycles event-heap backing arrays across batches.
+var heapPool = sync.Pool{
+	New: func() any { h := make(eventHeap, 0, 64); return &h },
 }
 
 // simulateBatch runs `waves` wavefronts through the clause steps on one
@@ -451,11 +511,17 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 	exp := mem.NewPipe("export")
 	var fillBusy, globalBusy uint64
 
-	h := make(eventHeap, 0, waves)
+	hp := heapPool.Get().(*eventHeap)
+	h := (*hp)[:0]
+	defer func() {
+		*hp = h
+		heapPool.Put(hp)
+	}()
+	// Appending events in (at=0, wave ascending) order already satisfies
+	// the heap invariant; no separate init pass is needed.
 	for w := 0; w < waves; w++ {
 		h = append(h, event{at: 0, wave: w, clause: 0})
 	}
-	heap.Init(&h)
 
 	counters := func() Counters {
 		return Counters{
@@ -468,23 +534,24 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 		}
 	}
 
+	numSteps := len(steps)
 	var makespan uint64
 	retired := 0
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(event)
+	for len(h) > 0 {
+		e := h.pop()
 		if e.at > budget {
 			return 0, Counters{}, &WatchdogError{
 				Wave:     e.wave,
 				Clause:   e.clause,
-				Clauses:  len(steps),
+				Clauses:  numSteps,
 				At:       e.at,
 				Budget:   budget,
 				Retired:  retired,
-				Waiting:  h.Len() + 1,
+				Waiting:  len(h) + 1,
 				Counters: counters(),
 			}
 		}
-		if e.clause >= len(steps) {
+		if e.clause >= numSteps {
 			if e.at > makespan {
 				makespan = e.at
 			}
@@ -493,10 +560,10 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 		if e.clause == hang {
 			// The clause issues but never retires: re-surface the same
 			// clause past the budget so the watchdog sees the stall.
-			heap.Push(&h, event{at: budget + 1, wave: e.wave, clause: e.clause})
+			h.push(event{at: budget + 1, wave: e.wave, clause: e.clause})
 			continue
 		}
-		s := steps[e.clause]
+		s := &steps[e.clause]
 		ready := e.at
 		if s.aluOcc > 0 {
 			_, done := alu.Acquire(ready, s.aluOcc)
@@ -525,7 +592,7 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 		}
 		ready += s.latency
 		retired++
-		heap.Push(&h, event{at: ready, wave: e.wave, clause: e.clause + 1})
+		h.push(event{at: ready, wave: e.wave, clause: e.clause + 1})
 	}
 
 	return makespan, counters(), nil

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# bench.sh — run the suite's headline hot-path benchmarks and record the
+# results as BENCH_<sha>.json (one entry per benchmark: iterations, ns/op,
+# and every custom metric the benchmark reports, e.g. crossover ratios).
+#
+# The JSON file is the comparable artifact for before/after performance
+# work: run it on two commits and diff the ns_per_op fields. CI uploads it
+# as a build artifact on every push.
+#
+# Environment overrides:
+#   BENCH      regexp alternation of benchmark names (sans Benchmark prefix)
+#   BENCHTIME  go test -benchtime value (default 2x)
+#   COUNT      go test -count value (default 1)
+#   OUTDIR     directory for the JSON file (default repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-Fig2Disassembly|Fig7ALUFetch|Fig7RepeatedSweepCached|Fig7RepeatedSweepUncached}"
+BENCHTIME="${BENCHTIME:-2x}"
+COUNT="${COUNT:-1}"
+OUTDIR="${OUTDIR:-.}"
+
+mkdir -p "$OUTDIR"
+sha=$(git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)
+out="$OUTDIR/BENCH_${sha}.json"
+
+raw=$(go test -run '^$' -bench "^Benchmark(${BENCH})\$" -benchtime "$BENCHTIME" -count "$COUNT" .)
+printf '%s\n' "$raw" >&2
+
+printf '%s\n' "$raw" | awk \
+	-v sha="$sha" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v gover="$(go env GOVERSION)" '
+BEGIN {
+	printf "{\n  \"commit\": \"%s\",\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [", sha, date, gover
+	n = 0
+}
+/^Benchmark/ {
+	name = $1
+	sub(/^Benchmark/, "", name)
+	sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+	iters = $2
+	nsop = ""
+	metrics = ""
+	# Fields from $3 on are value/unit pairs: "123 ns/op 0.75 crossover".
+	for (i = 3; i + 1 <= NF; i += 2) {
+		val = $i
+		unit = $(i + 1)
+		if (unit == "ns/op") {
+			nsop = val
+		} else {
+			if (metrics != "") metrics = metrics ", "
+			metrics = metrics sprintf("\"%s\": %s", unit, val)
+		}
+	}
+	if (nsop == "") next
+	if (n++) printf ","
+	printf "\n    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"metrics\": {%s}}", name, iters, nsop, metrics
+}
+END { printf "\n  ]\n}\n" }
+' >"$out"
+
+echo "wrote $out" >&2
