@@ -21,11 +21,6 @@ import (
 	"amdgpubench/internal/isa"
 )
 
-var (
-	archName = flag.String("arch", "RV770", "target GPU: RV670, RV770 or RV870")
-	emitISA  = flag.Bool("isa", false, "compile to ISA and disassemble")
-)
-
 func parseArch(name string) (device.Arch, error) {
 	switch strings.ToUpper(name) {
 	case "RV670", "3870":
@@ -38,41 +33,63 @@ func parseArch(name string) (device.Arch, error) {
 	return 0, fmt.Errorf("unknown architecture %q", name)
 }
 
-func main() {
-	flag.Parse()
+// run executes the tool against explicit streams so tests can drive it
+// exactly as main does. Exit codes: 0 success, 1 bad input or compile
+// failure, 2 usage error.
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ilas", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	archName := fs.String("arch", "RV770", "target GPU: RV670, RV770 or RV870")
+	emitISA := fs.Bool("isa", false, "compile to ISA and disassemble")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: ilas [-arch RV670|RV770|RV870] [-isa] [file]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return 2
+	}
 	var src []byte
 	var err error
-	if flag.NArg() > 0 {
-		src, err = os.ReadFile(flag.Arg(0))
+	if fs.NArg() > 0 {
+		src, err = os.ReadFile(fs.Arg(0))
 	} else {
-		src, err = io.ReadAll(os.Stdin)
+		src, err = io.ReadAll(stdin)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ilas: %v\n", err)
+		return 1
 	}
 	k, err := il.Parse(string(src))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ilas: %v\n", err)
+		return 1
 	}
 	if err := k.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ilas: %v\n", err)
+		return 1
 	}
 	if !*emitISA {
-		fmt.Print(il.Assemble(k))
-		return
+		fmt.Fprint(stdout, il.Assemble(k))
+		return 0
 	}
 	arch, err := parseArch(*archName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ilas: %v\n", err)
+		return 2
 	}
 	prog, err := ilc.Compile(k, device.Lookup(arch))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ilas: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ilas: %v\n", err)
+		return 1
 	}
-	fmt.Print(isa.Disassemble(prog))
+	fmt.Fprint(stdout, isa.Disassemble(prog))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/kerngen"
+)
+
+func runIlas(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func sampleKernel(t *testing.T) *il.Kernel {
+	t.Helper()
+	k, err := kerngen.ALUFetch(kerngen.Params{
+		Mode: il.Pixel, Type: il.Float, Inputs: 4, Outputs: 1, ALUFetchRatio: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestRoundTripStdin(t *testing.T) {
+	src := il.Assemble(sampleKernel(t))
+	code, out, stderr := runIlas(t, src)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if out != src {
+		t.Errorf("round trip not canonical:\n%s\nvs\n%s", out, src)
+	}
+	// Canonical output is a fixpoint: feeding it back changes nothing.
+	code, again, _ := runIlas(t, out)
+	if code != 0 || again != out {
+		t.Error("assembler output is not a fixpoint")
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	src := il.Assemble(sampleKernel(t))
+	path := filepath.Join(t.TempDir(), "k.il")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runIlas(t, "", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if out != src {
+		t.Error("file round trip differs from stdin round trip")
+	}
+}
+
+func TestISADisassembly(t *testing.T) {
+	src := il.Assemble(sampleKernel(t))
+	for _, arch := range []string{"RV670", "RV770", "RV870", "4870"} {
+		code, out, stderr := runIlas(t, src, "-isa", "-arch", arch)
+		if code != 0 {
+			t.Fatalf("-arch %s: exit %d, stderr: %s", arch, code, stderr)
+		}
+		for _, want := range []string{"TEX:", "ALU:", "EXP_DONE"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("-arch %s disassembly missing %q:\n%.400s", arch, want, out)
+			}
+		}
+	}
+}
+
+func TestBadInputExitCodes(t *testing.T) {
+	if code, _, stderr := runIlas(t, "not il at all\n"); code != 1 || stderr == "" {
+		t.Errorf("garbage input: exit %d, stderr %q", code, stderr)
+	}
+	// Parseable but invalid: kernel with a use before definition.
+	bad := "il_ps_2_0 ; kernel bad\ndcl_type float\ndcl_output o0\nexport o0, r0\nend\n"
+	if code, _, stderr := runIlas(t, bad); code != 1 || !strings.Contains(stderr, "before definition") {
+		t.Errorf("invalid kernel: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := runIlas(t, "", filepath.Join(t.TempDir(), "missing.il")); code != 1 {
+		t.Errorf("missing file: exit %d", code)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runIlas(t, "", "-nonsense"); code != 2 {
+		t.Errorf("unknown flag: exit %d", code)
+	}
+	if code, _, _ := runIlas(t, "", "a.il", "b.il"); code != 2 {
+		t.Errorf("two files: exit %d", code)
+	}
+	src := il.Assemble(sampleKernel(t))
+	if code, _, stderr := runIlas(t, src, "-isa", "-arch", "G80"); code != 2 || !strings.Contains(stderr, "unknown architecture") {
+		t.Errorf("bad arch: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"amdgpubench/internal/device"
@@ -23,19 +24,28 @@ import (
 	"amdgpubench/internal/report"
 )
 
-var (
-	inputs  = flag.Int("inputs", 8, "number of input resources")
-	outputs = flag.Int("outputs", 1, "number of outputs")
-	ratio   = flag.Float64("ratio", 1.0, "ALU:Fetch ratio (SKA convention)")
-	float4  = flag.Bool("float4", false, "use float4 data")
-	compute = flag.Bool("compute", false, "compute shader mode")
-	space   = flag.Int("space", 0, "register-usage kernel: fetches per late TEX clause")
-	step    = flag.Int("step", 0, "register-usage kernel: number of late TEX clauses")
-	disasm  = flag.Bool("disasm", false, "print ISA disassembly (RV770)")
-)
-
-func main() {
-	flag.Parse()
+// run executes the tool against explicit streams so tests can drive it
+// exactly as main does. Exit codes: 0 success, 1 generation or compile
+// failure, 2 usage error.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ska", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	inputs := fs.Int("inputs", 8, "number of input resources")
+	outputs := fs.Int("outputs", 1, "number of outputs")
+	ratio := fs.Float64("ratio", 1.0, "ALU:Fetch ratio (SKA convention)")
+	float4 := fs.Bool("float4", false, "use float4 data")
+	compute := fs.Bool("compute", false, "compute shader mode")
+	space := fs.Int("space", 0, "register-usage kernel: fetches per late TEX clause")
+	step := fs.Int("step", 0, "register-usage kernel: number of late TEX clauses")
+	disasm := fs.Bool("disasm", false, "print ISA disassembly (RV770)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "ska: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
 	p := kerngen.Params{
 		Mode: il.Pixel, Type: il.Float,
 		Inputs: *inputs, Outputs: *outputs,
@@ -59,8 +69,8 @@ func main() {
 		k, err = kerngen.ALUFetch(p)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ska: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "ska: %v\n", err)
+		return 1
 	}
 
 	t := &report.Table{
@@ -73,8 +83,8 @@ func main() {
 		}
 		prog, err := ilc.Compile(k, spec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ska: %s: %v\n", spec.Arch, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "ska: %s: %v\n", spec.Arch, err)
+			return 1
 		}
 		st := prog.Stats()
 		t.AddRow(
@@ -89,14 +99,19 @@ func main() {
 			fmt.Sprintf("%.2f", st.ALUFetchSKA),
 		)
 	}
-	fmt.Print(t.Format())
+	fmt.Fprint(stdout, t.Format())
 	if *disasm {
 		prog, err := ilc.Compile(k, device.Lookup(device.RV770))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ska: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "ska: %v\n", err)
+			return 1
 		}
-		fmt.Println()
-		fmt.Print(isa.Disassemble(prog))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, isa.Disassemble(prog))
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

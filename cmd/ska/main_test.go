@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/kerngen"
+)
+
+func runSka(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+// tableRows parses the aligned report.Table output back into rows keyed
+// by the GPU column. Every data row has exactly one field per header
+// column because all cell values are single tokens.
+func tableRows(t *testing.T, out string) map[string][]string {
+	t.Helper()
+	archNames := map[string]bool{}
+	for _, spec := range device.All() {
+		archNames[spec.Arch.String()] = true
+	}
+	rows := map[string][]string{}
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 9 && archNames[f[0]] {
+			rows[f[0]] = f
+		}
+	}
+	return rows
+}
+
+// TestStatsMatchCompilerGolden runs ska and recomputes every reported
+// column from a direct kerngen + ilc.Compile pass; the CLI must be a
+// pure presentation layer over the compiler's Stats.
+func TestStatsMatchCompilerGolden(t *testing.T) {
+	code, out, stderr := runSka(t, "-inputs", "4", "-ratio", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	rows := tableRows(t, out)
+	if len(rows) != len(device.All()) {
+		t.Fatalf("expected %d device rows, got %d:\n%s", len(device.All()), len(rows), out)
+	}
+	k, err := kerngen.ALUFetch(kerngen.Params{
+		Mode: il.Pixel, Type: il.Float, Inputs: 4, Outputs: 1, ALUFetchRatio: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range device.All() {
+		prog, err := ilc.Compile(k, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := prog.Stats()
+		want := []string{
+			spec.Arch.String(),
+			fmt.Sprintf("%d", st.GPRs),
+			fmt.Sprintf("%d", spec.WavefrontsForGPRs(st.GPRs)),
+			fmt.Sprintf("%d", st.ALUBundles),
+			fmt.Sprintf("%d", st.FetchOps),
+			fmt.Sprintf("%d", st.ALUClauses),
+			fmt.Sprintf("%d", st.TEXClauses),
+			fmt.Sprintf("%.2f", st.ALUPacking),
+			fmt.Sprintf("%.2f", st.ALUFetchSKA),
+		}
+		got := rows[spec.Arch.String()]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s column %d: ska printed %q, compiler says %q", spec.Arch, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestComputeSkipsUnsupported: compute-mode kernels cannot run on a
+// device without compute support, so that row must be absent.
+func TestComputeSkipsUnsupported(t *testing.T) {
+	code, out, stderr := runSka(t, "-compute", "-inputs", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	rows := tableRows(t, out)
+	for _, spec := range device.All() {
+		_, present := rows[spec.Arch.String()]
+		if present != spec.SupportsCompute {
+			t.Errorf("%s: row present=%v, SupportsCompute=%v", spec.Arch, present, spec.SupportsCompute)
+		}
+	}
+}
+
+// TestRegisterUsageAndDisasm covers the -space/-step kernel family and
+// the -disasm tail.
+func TestRegisterUsageAndDisasm(t *testing.T) {
+	code, out, stderr := runSka(t, "-inputs", "16", "-space", "4", "-step", "2", "-disasm")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if len(tableRows(t, out)) != len(device.All()) {
+		t.Fatalf("missing device rows:\n%s", out)
+	}
+	for _, want := range []string{"TEX:", "ALU:", "EXP_DONE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-disasm output missing %q", want)
+		}
+	}
+}
+
+func TestSkaErrors(t *testing.T) {
+	if code, _, _ := runSka(t, "-nonsense"); code != 2 {
+		t.Errorf("unknown flag: exit %d", code)
+	}
+	if code, _, stderr := runSka(t, "stray-arg"); code != 2 || !strings.Contains(stderr, "unexpected argument") {
+		t.Errorf("positional arg: exit %d, stderr %q", code, stderr)
+	}
+	// Generator rejection (no inputs) must surface as exit 1, not a panic.
+	if code, _, stderr := runSka(t, "-inputs", "0"); code != 1 || stderr == "" {
+		t.Errorf("bad params: exit %d, stderr %q", code, stderr)
+	}
+}

@@ -1,0 +1,79 @@
+// Package examples holds runnable demonstration programs; this test
+// keeps them honest. Each example is built and executed end-to-end, so
+// API drift in the packages they showcase breaks `go test ./...`
+// instead of rotting silently until a reader tries one.
+package examples
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var exampleDirs = []string{
+	"binomial", "convolution", "futurechip", "matmul", "montecarlo", "quickstart",
+}
+
+func TestExampleDirsComplete(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, d := range exampleDirs {
+		want[d] = true
+	}
+	for _, e := range entries {
+		if e.IsDir() && !want[e.Name()] {
+			t.Errorf("example %s is not covered by the smoke test", e.Name())
+		}
+	}
+}
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH; cannot build examples")
+	}
+	binDir := t.TempDir()
+	for _, dir := range exampleDirs {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			t.Parallel()
+			if _, err := os.Stat(filepath.Join(dir, "main.go")); err != nil {
+				t.Fatalf("example missing: %v", err)
+			}
+			bin := filepath.Join(binDir, dir)
+			build := exec.Command(goTool, "build", "-o", bin, "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build: %v\n%s", err, out)
+			}
+			// Every example is a deterministic model run that finishes in
+			// well under a second; a minute means a hang, not a slow box.
+			var stdout, stderr bytes.Buffer
+			cmd := exec.Command(bin)
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example failed: %v\nstderr: %s", err, stderr.String())
+				}
+			case <-time.After(60 * time.Second):
+				cmd.Process.Kill()
+				t.Fatal("example did not finish within 60s")
+			}
+			if stdout.Len() == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,167 @@
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+
+	"amdgpubench/internal/il"
+)
+
+// RandomKernel draws one pseudo-random, always-valid IL kernel from rng.
+// The generator's coverage is deliberately broader than anything kerngen
+// emits: every opcode (including sub, mov, rcp/rsq and the constant-buffer
+// forms kerngen never chains through), both shader modes, both data types,
+// both memory spaces on each side, dead values, scattered operand
+// lifetimes, duplicate and mid-stream stores, multi-group fetch placement
+// and ALU runs long enough to straddle the 128-bundle clause split. Edge
+// register pressures (1 input up to 64 inputs) are sampled explicitly.
+//
+// The same rng always yields the same kernel, which is what lets the fuzz
+// targets address kernels by a single seed. RandomKernel panics if it ever
+// constructs a kernel il.Kernel.Validate rejects: that is a generator bug
+// the fuzzers should surface, not mask.
+func RandomKernel(rng *rand.Rand) *il.Kernel {
+	mode := il.Pixel
+	if rng.Intn(2) == 1 {
+		mode = il.Compute
+	}
+	dt := il.Float
+	if rng.Intn(2) == 1 {
+		dt = il.Float4
+	}
+	inSp := il.TextureSpace
+	if rng.Intn(3) == 0 {
+		inSp = il.GlobalSpace
+	}
+	outSp := il.TextureSpace
+	if mode == il.Compute || rng.Intn(3) == 0 {
+		outSp = il.GlobalSpace
+	}
+
+	inputs := 1 + rng.Intn(8)
+	switch rng.Intn(8) {
+	case 0:
+		inputs = 1 // minimal pressure: the whole kernel hangs off one fetch
+	case 1:
+		inputs = 16 + rng.Intn(49) // up to 64: the Fig. 16 pressure regime
+	}
+	outs := 1 + rng.Intn(4)
+	if rng.Intn(8) == 0 {
+		outs = 8 // the paper's write-latency maximum
+	}
+	consts := 0
+	if rng.Intn(2) == 1 {
+		consts = 1 + rng.Intn(8)
+	}
+
+	var aluBudget int
+	switch rng.Intn(4) {
+	case 0:
+		aluBudget = 0 // fetch -> store direct: no ALU clause at all
+	case 1, 2:
+		aluBudget = 1 + rng.Intn(24)
+	default:
+		aluBudget = 100 + rng.Intn(200) // straddles MaxSlotsPerALUClause
+	}
+	// Chain bias produces PV/clause-temp-heavy kernels; without it operand
+	// lifetimes scatter and the GPR allocator carries the load.
+	chainBias := rng.Intn(3) > 0
+
+	k := &il.Kernel{
+		Name: fmt.Sprintf("conf%08x", rng.Uint32()),
+		Mode: mode, Type: dt,
+		NumInputs: inputs, NumOutputs: outs,
+		InputSpace: inSp, OutSpace: outSp,
+		NumConsts: consts,
+	}
+	fetchOp := il.OpSample
+	if inSp == il.GlobalSpace {
+		fetchOp = il.OpGlobalLoad
+	}
+	storeOp := il.OpExport
+	if outSp == il.GlobalSpace {
+		storeOp = il.OpGlobalStore
+	}
+
+	next := il.Reg(0)
+	pick := func() il.Reg {
+		if chainBias && rng.Intn(4) != 0 {
+			return next - 1
+		}
+		return il.Reg(rng.Intn(int(next)))
+	}
+	emitALU := func(n int) {
+		for ; n > 0; n-- {
+			var in il.Instr
+			c := rng.Intn(8)
+			if consts == 0 && c >= 6 {
+				c = rng.Intn(6)
+			}
+			switch c {
+			case 0:
+				in = il.Instr{Op: il.OpAdd, Dst: next, SrcA: pick(), SrcB: pick(), Res: -1}
+			case 1:
+				in = il.Instr{Op: il.OpSub, Dst: next, SrcA: pick(), SrcB: pick(), Res: -1}
+			case 2:
+				in = il.Instr{Op: il.OpMul, Dst: next, SrcA: pick(), SrcB: pick(), Res: -1}
+			case 3:
+				in = il.Instr{Op: il.OpMov, Dst: next, SrcA: pick(), SrcB: il.NoReg, Res: -1}
+			case 4:
+				in = il.Instr{Op: il.OpRcp, Dst: next, SrcA: pick(), SrcB: il.NoReg, Res: -1}
+			case 5:
+				in = il.Instr{Op: il.OpRsq, Dst: next, SrcA: pick(), SrcB: il.NoReg, Res: -1}
+			case 6:
+				in = il.Instr{Op: il.OpAddC, Dst: next, SrcA: pick(), SrcB: il.NoReg, Res: rng.Intn(consts)}
+			default:
+				in = il.Instr{Op: il.OpMulC, Dst: next, SrcA: pick(), SrcB: il.NoReg, Res: rng.Intn(consts)}
+			}
+			k.Code = append(k.Code, in)
+			next++
+		}
+	}
+
+	// Fetches arrive in shuffled resource order, split into groups with ALU
+	// runs (and the occasional early store) between them — the interleaved
+	// shape of the register-usage kernels, but irregular.
+	fetchQ := rng.Perm(inputs)
+	storeOrder := rng.Perm(outs)
+	storesDone := 0
+	aluLeft := aluBudget
+	for len(fetchQ) > 0 {
+		g := 1 + rng.Intn(minInt(12, len(fetchQ)))
+		for i := 0; i < g; i++ {
+			k.Code = append(k.Code, il.Instr{Op: fetchOp, Dst: next, SrcA: il.NoReg, SrcB: il.NoReg, Res: fetchQ[0]})
+			fetchQ = fetchQ[1:]
+			next++
+		}
+		if aluLeft > 0 && rng.Intn(2) == 1 {
+			run := 1 + rng.Intn(aluLeft)
+			emitALU(run)
+			aluLeft -= run
+		}
+		if storesDone < outs-1 && rng.Intn(4) == 0 {
+			k.Code = append(k.Code, il.Instr{Op: storeOp, Dst: il.NoReg, SrcA: pick(), SrcB: il.NoReg, Res: storeOrder[storesDone]})
+			storesDone++
+		}
+	}
+	emitALU(aluLeft)
+	for ; storesDone < outs; storesDone++ {
+		k.Code = append(k.Code, il.Instr{Op: storeOp, Dst: il.NoReg, SrcA: pick(), SrcB: il.NoReg, Res: storeOrder[storesDone]})
+	}
+	if rng.Intn(4) == 0 {
+		// Duplicate store: the later write must win in every execution path.
+		k.Code = append(k.Code, il.Instr{Op: storeOp, Dst: il.NoReg, SrcA: pick(), SrcB: il.NoReg, Res: rng.Intn(outs)})
+	}
+
+	if err := k.Validate(); err != nil {
+		panic(fmt.Sprintf("conformance: generator produced invalid kernel: %v\n%s", err, il.Assemble(k)))
+	}
+	return k
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

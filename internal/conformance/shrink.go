@@ -1,0 +1,281 @@
+package conformance
+
+import "amdgpubench/internal/il"
+
+// Pred reports whether a kernel still exhibits the failure being
+// minimized. Shrink only ever evaluates it on kernels that pass
+// il.Kernel.Validate, so a predicate wrapping an oracle never confuses
+// "invalid shrink candidate" with "still failing".
+type Pred func(*il.Kernel) bool
+
+// shrinkEvalBudget caps predicate evaluations per Shrink call. Predicates
+// typically compile and interpret the candidate, so this bounds total
+// shrink cost; the transformation lattice itself terminates without it.
+const shrinkEvalBudget = 20000
+
+// Shrink greedily minimizes a failing kernel while pred keeps holding.
+// It repeats passes over a fixed transformation set — instruction removal
+// with use rewiring, output dropping, float4->float and compute->pixel
+// and global->texture flattening, constant-buffer collapse, and opcode
+// weakening to mov — until a full sweep makes no progress. Every
+// transformation strictly decreases the measure
+//
+//	10000*len(Code) + 100*(inputs+outputs+consts) + 10*flags + nonMovALU
+//
+// so termination does not depend on the evaluation budget. If pred does
+// not hold on k itself, k is returned unchanged.
+func Shrink(k *il.Kernel, pred Pred) *il.Kernel {
+	if !pred(k) {
+		return k
+	}
+	cur := cloneKernel(k)
+	budget := shrinkEvalBudget
+	try := func(cand *il.Kernel) bool {
+		if cand == nil || budget <= 0 || cand.Validate() != nil {
+			return false
+		}
+		budget--
+		return pred(cand)
+	}
+
+	for progress := true; progress && budget > 0; {
+		progress = false
+		// Remove instructions back to front: later instructions have fewer
+		// dependents, so backward scans converge in fewer sweeps.
+		for i := len(cur.Code) - 1; i >= 0 && budget > 0; i-- {
+			if cand := removeInstr(cur, i); try(cand) {
+				cur, progress = cand, true
+			}
+		}
+		for o := cur.NumOutputs - 1; o >= 1 && budget > 0; o-- {
+			if cand := dropOutput(cur, o); try(cand) {
+				cur, progress = cand, true
+			}
+		}
+		for _, cand := range flatten(cur) {
+			if try(cand) {
+				cur, progress = cand, true
+			}
+		}
+		for i := 0; i < len(cur.Code) && budget > 0; i++ {
+			if cand := weakenToMov(cur, i); try(cand) {
+				cur, progress = cand, true
+			}
+		}
+	}
+
+	// Cosmetic-only final step: compact register numbering so the report
+	// reads r0,r1,... in definition order. Renaming is semantics-preserving
+	// at the IL level, but the predicate may inspect compiled artifacts, so
+	// keep the renamed form only if it still fails.
+	if cand := compactRegisters(cur); try(cand) {
+		cur = cand
+	}
+	cur.Name = k.Name + "_shrunk"
+	return cur
+}
+
+func cloneKernel(k *il.Kernel) *il.Kernel {
+	c := *k
+	c.Code = append([]il.Instr(nil), k.Code...)
+	return &c
+}
+
+// removeInstr deletes instruction i, rewiring any later use of its
+// destination to the instruction's own first source (collapsing the op
+// out of its chain) or, for fetches, to the nearest earlier definition.
+// A fetch whose input resource has no other fetch also undeclares that
+// input. Returns nil when the removal cannot produce a valid kernel.
+func removeInstr(k *il.Kernel, i int) *il.Kernel {
+	in := k.Code[i]
+	if in.Op.IsStore() {
+		// A store is removable only when a sibling store keeps its output
+		// written; single stores disappear via dropOutput instead.
+		siblings := 0
+		for _, x := range k.Code {
+			if x.Op.IsStore() && x.Res == in.Res {
+				siblings++
+			}
+		}
+		if siblings < 2 {
+			return nil
+		}
+		c := cloneKernel(k)
+		c.Code = append(c.Code[:i], c.Code[i+1:]...)
+		return c
+	}
+
+	repl := in.SrcA
+	if repl == il.NoReg {
+		for j := i - 1; j >= 0; j-- {
+			if k.Code[j].Dst != il.NoReg {
+				repl = k.Code[j].Dst
+				break
+			}
+		}
+	}
+	used := false
+	for _, x := range k.Code[i+1:] {
+		if x.SrcA == in.Dst || x.SrcB == in.Dst {
+			used = true
+			break
+		}
+	}
+	if used && repl == il.NoReg {
+		return nil
+	}
+	c := cloneKernel(k)
+	c.Code = append(c.Code[:i], c.Code[i+1:]...)
+	for j := i; j < len(c.Code); j++ {
+		if c.Code[j].SrcA == in.Dst {
+			c.Code[j].SrcA = repl
+		}
+		if c.Code[j].SrcB == in.Dst {
+			c.Code[j].SrcB = repl
+		}
+	}
+	if in.Op.IsFetch() {
+		still := false
+		for _, x := range c.Code {
+			if x.Op.IsFetch() && x.Res == in.Res {
+				still = true
+				break
+			}
+		}
+		if !still {
+			c.NumInputs--
+			for j := range c.Code {
+				if c.Code[j].Op.IsFetch() && c.Code[j].Res > in.Res {
+					c.Code[j].Res--
+				}
+			}
+		}
+	}
+	return c
+}
+
+// dropOutput removes declared output o and every store to it. Requires
+// o >= 1 so at least one output always remains.
+func dropOutput(k *il.Kernel, o int) *il.Kernel {
+	if k.NumOutputs <= 1 {
+		return nil
+	}
+	c := cloneKernel(k)
+	kept := c.Code[:0]
+	for _, x := range c.Code {
+		if x.Op.IsStore() {
+			if x.Res == o {
+				continue
+			}
+			if x.Res > o {
+				x.Res--
+			}
+		}
+		kept = append(kept, x)
+	}
+	c.Code = kept
+	c.NumOutputs--
+	return c
+}
+
+// flatten yields the single-flag simplifications: narrower data type,
+// simpler shader mode, cached memory spaces, and constant-buffer collapse.
+func flatten(k *il.Kernel) []*il.Kernel {
+	var out []*il.Kernel
+	if k.Type == il.Float4 {
+		c := cloneKernel(k)
+		c.Type = il.Float
+		out = append(out, c)
+	}
+	if k.Mode == il.Compute {
+		c := cloneKernel(k)
+		c.Mode = il.Pixel
+		out = append(out, c)
+	}
+	if k.InputSpace == il.GlobalSpace {
+		c := cloneKernel(k)
+		c.InputSpace = il.TextureSpace
+		for j := range c.Code {
+			if c.Code[j].Op == il.OpGlobalLoad {
+				c.Code[j].Op = il.OpSample
+			}
+		}
+		out = append(out, c)
+	}
+	if k.OutSpace == il.GlobalSpace && k.Mode == il.Pixel {
+		c := cloneKernel(k)
+		c.OutSpace = il.TextureSpace
+		for j := range c.Code {
+			if c.Code[j].Op == il.OpGlobalStore {
+				c.Code[j].Op = il.OpExport
+			}
+		}
+		out = append(out, c)
+	}
+	if k.NumConsts > 0 {
+		anyUse, maxUse := false, 0
+		for _, x := range k.Code {
+			if x.Op.ReadsConst() {
+				anyUse = true
+				if x.Res > maxUse {
+					maxUse = x.Res
+				}
+			}
+		}
+		switch {
+		case !anyUse:
+			c := cloneKernel(k)
+			c.NumConsts = 0
+			out = append(out, c)
+		case k.NumConsts > maxUse+1:
+			c := cloneKernel(k)
+			c.NumConsts = maxUse + 1
+			out = append(out, c)
+		case k.NumConsts > 1:
+			c := cloneKernel(k)
+			for j := range c.Code {
+				if c.Code[j].Op.ReadsConst() {
+					c.Code[j].Res = 0
+				}
+			}
+			c.NumConsts = 1
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// weakenToMov replaces a non-mov ALU instruction with mov of its first
+// source, testing whether the failure depends on the operation at all.
+func weakenToMov(k *il.Kernel, i int) *il.Kernel {
+	in := k.Code[i]
+	if !in.Op.IsALU() || in.Op == il.OpMov {
+		return nil
+	}
+	c := cloneKernel(k)
+	c.Code[i] = il.Instr{Op: il.OpMov, Dst: in.Dst, SrcA: in.SrcA, SrcB: il.NoReg, Res: -1}
+	return c
+}
+
+// compactRegisters renumbers destinations to r0,r1,... in definition
+// order, closing the gaps earlier removals left.
+func compactRegisters(k *il.Kernel) *il.Kernel {
+	c := cloneKernel(k)
+	remap := make(map[il.Reg]il.Reg)
+	next := il.Reg(0)
+	for j := range c.Code {
+		in := &c.Code[j]
+		if in.SrcA != il.NoReg {
+			in.SrcA = remap[in.SrcA]
+		}
+		if in.SrcB != il.NoReg {
+			in.SrcB = remap[in.SrcB]
+		}
+		if in.Dst != il.NoReg {
+			remap[in.Dst] = next
+			in.Dst = next
+			next++
+		}
+	}
+	return c
+}

@@ -151,6 +151,9 @@ func Parse(src string) (*Kernel, error) {
 			k.NumOutputs++
 			k.OutSpace = TextureSpace
 		case head == "dcl_cb":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("il: line %d: malformed dcl_cb", lineNo)
+			}
 			n, err := parseBracketCount(fields[1])
 			if err != nil {
 				return nil, fmt.Errorf("il: line %d: %v", lineNo, err)
@@ -256,6 +259,9 @@ func parseInstr(fields []string) (Instr, error) {
 	head := fields[0]
 	switch {
 	case strings.HasPrefix(head, "sample_resource"):
+		if len(fields) < 2 {
+			return Instr{}, fmt.Errorf("%s needs a destination register", head)
+		}
 		res, err := parseResSuffix(head, "sample_resource")
 		if err != nil {
 			return Instr{}, err
@@ -266,6 +272,9 @@ func parseInstr(fields []string) (Instr, error) {
 		}
 		return Instr{Op: OpSample, Dst: dst, SrcA: NoReg, SrcB: NoReg, Res: res}, nil
 	case strings.HasPrefix(head, "gload_buffer"):
+		if len(fields) < 2 {
+			return Instr{}, fmt.Errorf("%s needs a destination register", head)
+		}
 		res, err := parseResSuffix(head, "gload_buffer")
 		if err != nil {
 			return Instr{}, err
@@ -358,6 +367,9 @@ func parseInstr(fields []string) (Instr, error) {
 		}
 		return Instr{Op: OpExport, Dst: NoReg, SrcA: src, SrcB: NoReg, Res: res}, nil
 	case strings.HasPrefix(head, "gstore_buffer"):
+		if len(fields) < 2 {
+			return Instr{}, fmt.Errorf("%s needs a source register", head)
+		}
 		res, err := parseResSuffix(head, "gstore_buffer")
 		if err != nil {
 			return Instr{}, err

@@ -138,6 +138,12 @@ func TestParseErrors(t *testing.T) {
 		{"short add", "il_ps_2_0\nadd r2, r0\nend\n"},
 		{"bad export target", "il_ps_2_0\nexport r0, r1\nend\n"},
 		{"bad cb", "il_ps_2_0\ndcl_cb cb0[x]\nend\n"},
+		// Fuzz-found: operand-less instructions and a bare dcl_cb used to
+		// index past the field slice and panic instead of erroring.
+		{"sample without dst", "il_ps_2_0\nsample_resource(0)\nend\n"},
+		{"gload without dst", "il_ps_2_0\ngload_buffer(0)\nend\n"},
+		{"gstore without src", "il_ps_2_0\ngstore_buffer(0)\nend\n"},
+		{"bare dcl_cb", "il_ps_2_0\ndcl_cb\nend\n"},
 	}
 	for _, c := range cases {
 		if _, err := Parse(c.src); err == nil {

@@ -22,6 +22,11 @@ import (
 type OptReport struct {
 	RemovedOps    int   // dead ALU and fetch instructions deleted
 	RemovedInputs []int // original input resource indices eliminated
+	// InputMap maps each surviving input's new resource index to its
+	// original index (InputMap[new] == original). A nil map means the
+	// identity: no renumbering happened. Differential checks need this to
+	// feed the optimized kernel the same data the original read.
+	InputMap []int
 }
 
 // Changed reports whether the pass modified the kernel.
@@ -138,6 +143,10 @@ func Optimize(k *il.Kernel) (*il.Kernel, OptReport, error) {
 		out.Code = append(out.Code, ni)
 	}
 	out.NumInputs = len(resMap)
+	rep.InputMap = make([]int, len(resMap))
+	for orig, nr := range resMap {
+		rep.InputMap[nr] = orig
+	}
 	for res, used := range usedInputs {
 		if !used && res < k.NumInputs {
 			rep.RemovedInputs = append(rep.RemovedInputs, res)

@@ -29,10 +29,12 @@ import (
 // micro-benchmark was executed 5000 times for stable timings.
 const DefaultIterations = 5000
 
-// launchOverheadCycles approximates per-invocation driver/dispatch cost;
+// LaunchOverheadCycles approximates per-invocation driver/dispatch cost;
 // the paper notes kernel invocation time exceeds the execution time of a
-// domain-of-one kernel, which is why realistic domains are used.
-const launchOverheadCycles = 20000
+// domain-of-one kernel, which is why realistic domains are used. It is
+// exported so the conformance suite's domain-linearity invariant can
+// subtract the per-launch constant before comparing cycle totals.
+const LaunchOverheadCycles = 20000
 
 // DefaultWatchdogBudget is the forward-progress cycle budget for one
 // steady-state batch when Config.Watchdog is zero. Real batches finish in
@@ -303,7 +305,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		total += m2
 	}
-	total += launchOverheadCycles
+	total += LaunchOverheadCycles
 
 	clock := float64(cfg.Spec.CoreClockMHz) * 1e6
 	if cfg.ClockFactor > 0 && cfg.ClockFactor != 1 {

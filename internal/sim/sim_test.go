@@ -361,8 +361,8 @@ func TestLaunchOverheadFloor(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Cycles < launchOverheadCycles {
-		t.Fatalf("cycles %d below the launch overhead %d", r.Cycles, launchOverheadCycles)
+	if r.Cycles < LaunchOverheadCycles {
+		t.Fatalf("cycles %d below the launch overhead %d", r.Cycles, LaunchOverheadCycles)
 	}
 }
 
