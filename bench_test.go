@@ -86,6 +86,7 @@ func BenchmarkFig7ALUFetch(b *testing.B) {
 // and across the repeats); the figures are bit-identical either way.
 func repeatedSweep(b *testing.B, disableCache bool) {
 	const repeats = 3
+	var hits, lookups uint64
 	for i := 0; i < b.N; i++ {
 		s := core.NewSuite()
 		s.Iterations = 1
@@ -95,6 +96,17 @@ func repeatedSweep(b *testing.B, disableCache bool) {
 				b.Fatal(err)
 			}
 		}
+		for _, st := range s.CacheStats().Stages {
+			hits += st.Hits + st.Coalesced
+			lookups += st.Hits + st.Coalesced + st.Misses
+		}
+	}
+	// The cache hit rate is the quantity this benchmark pair isolates;
+	// scripts/bench.sh records it into BENCH_<sha>.json alongside ns/op,
+	// so cache-effectiveness regressions show up in the same artifact as
+	// time regressions.
+	if lookups > 0 {
+		b.ReportMetric(float64(hits)/float64(lookups), "cache-hit-rate")
 	}
 }
 

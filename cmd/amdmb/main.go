@@ -23,6 +23,15 @@
 //	                   'seed=42;hang:prob=0.01;transient:prob=0.05'
 //	-cache-stats       print the pipeline's per-stage artifact-cache counters
 //	-no-cache          disable content-addressed artifact caching (recompute all)
+//	-trace file        record per-launch spans (with the pipeline stages nested
+//	                   inside) as Chrome trace_event JSON; open in Perfetto or
+//	                   chrome://tracing
+//	-metrics           print the suite's metrics registry (cache, fault, retry
+//	                   and sweep counters plus latency histograms) as a table
+//	-metrics-json      like -metrics but as JSON (implies -metrics)
+//	-progress          show a live per-sweep progress line on stderr (points
+//	                   done/total, failures, cache hit rate, ETA)
+//	-max-domain N      clamp every sweep domain to at most NxN (CI smoke runs)
 //	-cpuprofile file   write a CPU profile of the run (go tool pprof format)
 //	-memprofile file   write a heap profile on exit (go tool pprof format)
 //
@@ -49,24 +58,30 @@ import (
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/isa"
 	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/obs"
 	"amdgpubench/internal/report"
 )
 
 // cli carries the parsed flags and output streams so the whole command
 // is runnable (and testable) without touching process globals.
 type cli struct {
-	csv        bool
-	showRuns   bool
-	iters      int
-	outDir     string
-	timeout    uint64
-	retries    int
-	checkpoint string
-	faults     string
-	cacheStats bool
-	noCache    bool
-	cpuprofile string
-	memprofile string
+	csv         bool
+	showRuns    bool
+	iters       int
+	outDir      string
+	timeout     uint64
+	retries     int
+	checkpoint  string
+	faults      string
+	cacheStats  bool
+	noCache     bool
+	tracePath   string
+	metrics     bool
+	metricsJSON bool
+	progress    bool
+	maxDomain   int
+	cpuprofile  string
+	memprofile  string
 
 	out    io.Writer
 	errOut io.Writer
@@ -230,6 +245,11 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&c.faults, "faults", "", "deterministic fault-injection plan, e.g. 'seed=42;hang:prob=0.01;transient:prob=0.05'")
 	fs.BoolVar(&c.cacheStats, "cache-stats", false, "print the pipeline's per-stage artifact-cache counters after the experiments")
 	fs.BoolVar(&c.noCache, "no-cache", false, "disable content-addressed artifact caching (every stage recomputes)")
+	fs.StringVar(&c.tracePath, "trace", "", "write per-launch spans as Chrome trace_event JSON to this file")
+	fs.BoolVar(&c.metrics, "metrics", false, "print the suite's metrics registry after the experiments")
+	fs.BoolVar(&c.metricsJSON, "metrics-json", false, "print the metrics registry as JSON (implies -metrics)")
+	fs.BoolVar(&c.progress, "progress", false, "show a live per-sweep progress line on stderr")
+	fs.IntVar(&c.maxDomain, "max-domain", 0, "clamp every sweep domain to at most NxN (0 = no clamp)")
 	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(argv); err != nil {
@@ -300,6 +320,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	s.DeadlineCycles = c.timeout
 	s.Checkpoint = c.checkpoint
 	s.DisableArtifactCache = c.noCache
+	s.MaxDomain = c.maxDomain
+	if c.tracePath != "" {
+		s.Tracer = obs.NewTracer()
+	}
+	if c.progress {
+		s.Progress = stderr
+	}
 	if c.faults != "" {
 		plan, err := fault.Parse(c.faults)
 		if err != nil {
@@ -315,8 +342,27 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if c.tracePath != "" {
+		if err := s.Tracer.WriteFile(c.tracePath); err != nil {
+			fmt.Fprintf(stderr, "amdmb: -trace: %v\n", err)
+			return 1
+		}
+	}
 	if c.cacheStats {
 		fmt.Fprintln(c.out, s.CacheStats().Format())
+	}
+	if c.metrics || c.metricsJSON {
+		snap := s.Metrics().Snapshot()
+		if c.metricsJSON {
+			data, err := snap.JSON()
+			if err != nil {
+				fmt.Fprintf(stderr, "amdmb: -metrics-json: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(c.out, string(data))
+		} else {
+			fmt.Fprintln(c.out, snap.Format())
+		}
 	}
 	if failures := s.Failures(); len(failures) > 0 {
 		fmt.Fprintln(c.out, failureTable(failures).Format())

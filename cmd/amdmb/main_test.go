@@ -5,8 +5,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -187,6 +189,171 @@ func TestCacheStatsFlag(t *testing.T) {
 	}
 	if !strings.Contains(out, "enabled") {
 		t.Errorf("-cache-stats should report caching enabled:\n%s", out)
+	}
+}
+
+func TestTraceFlagWritesNestedSpans(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	code, _, stderr := runCLI(t, "-iters", "1", "-trace", tracePath, "fig13")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("-trace output is not valid trace_event JSON: %v", err)
+	}
+	type span struct {
+		ts, dur float64
+		tid     int
+	}
+	var launches []span
+	byName := map[string][]span{}
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		s := span{ts: e.TS, dur: e.Dur, tid: e.TID}
+		byName[e.Name] = append(byName[e.Name], s)
+		if e.Name == "launch" {
+			launches = append(launches, s)
+		}
+	}
+	if len(launches) == 0 {
+		t.Fatal("trace has no launch spans")
+	}
+	// Every pipeline stage must appear, and every stage span must nest
+	// inside some launch span on the same track.
+	for _, stage := range []string{"compile", "trace", "replay", "simulate"} {
+		spans := byName[stage]
+		if len(spans) == 0 {
+			t.Errorf("trace has no %q spans", stage)
+			continue
+		}
+		for _, s := range spans {
+			nested := false
+			for _, l := range launches {
+				if s.tid == l.tid && s.ts >= l.ts && s.ts+s.dur <= l.ts+l.dur+1 {
+					nested = true
+					break
+				}
+			}
+			if !nested {
+				t.Errorf("%q span at ts=%f (tid %d) is not nested in any launch span", stage, s.ts, s.tid)
+				break
+			}
+		}
+	}
+	if len(byName["generate"]) == 0 {
+		t.Error("trace has no generate spans")
+	}
+}
+
+func TestMetricsFlagReportsCacheAndSweepCounters(t *testing.T) {
+	code, out, stderr := runCLI(t, "-iters", "1", "-metrics", "fig13")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{
+		"pipeline.compile.hits", "pipeline.simulate.misses",
+		"core.sweep.points.completed", "cal.launches",
+		"pipeline.compile.compute_latency_ns",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsJSONMatchesCacheStats(t *testing.T) {
+	code, out, stderr := runCLI(t, "-iters", "1", "-metrics-json", "-cache-stats", "fig13")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// Output is the cache-stats table followed by the metrics JSON
+	// object; the JSON starts at the first '{'.
+	idx := strings.Index(out, "{")
+	if idx < 0 {
+		t.Fatalf("no JSON in output:\n%s", out)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(out[idx:]), &snap); err != nil {
+		t.Fatalf("-metrics-json output is not valid JSON: %v", err)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	// The cache-stats table and the metrics registry read the same
+	// counters; spot-check that the table's simulate hits/misses appear
+	// verbatim in the JSON. The table row looks like:
+	//   simulate  <hits>  <misses> ...
+	simHits, ok := counters["pipeline.simulate.hits"]
+	if !ok {
+		t.Fatal("metrics JSON lacks pipeline.simulate.hits")
+	}
+	simMisses := counters["pipeline.simulate.misses"]
+	found := false
+	for _, line := range strings.Split(out[:idx], "\n") {
+		fields := strings.Fields(line)
+		if len(fields) > 2 && fields[0] == "simulate" {
+			found = true
+			if fields[1] != strconv.FormatInt(simHits, 10) || fields[2] != strconv.FormatInt(simMisses, 10) {
+				t.Errorf("cache-stats simulate row %v != metrics hits=%d misses=%d",
+					fields[1:3], simHits, simMisses)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("cache-stats table has no simulate row:\n%s", out[:idx])
+	}
+}
+
+func TestProgressFlagRendersOnStderr(t *testing.T) {
+	code, _, stderr := runCLI(t, "-iters", "1", "-progress", "fig13")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	for _, want := range []string{"points", "(100%)", "cache hit"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("-progress stderr missing %q: %q", want, stderr)
+		}
+	}
+}
+
+func TestMaxDomainClampsSweeps(t *testing.T) {
+	code, out, stderr := runCLI(t, "-iters", "1", "-csv", "-max-domain", "16", "fig7")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	// Clamped run keeps the sweep's shape (same rows) with smaller domains.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 33 {
+		t.Fatalf("clamped fig7 CSV has %d lines, want >= 33:\n%s", len(lines), out)
+	}
+	// A clamped domain must not resume a full-domain checkpoint.
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	if code, _, stderr := runCLI(t, "-iters", "1", "-checkpoint", ck, "fig13"); code != 0 {
+		t.Fatalf("full-domain run exit %d, stderr: %s", code, stderr)
+	}
+	if code, _, stderr := runCLI(t, "-iters", "1", "-checkpoint", ck, "-max-domain", "16", "-metrics", "fig13"); code != 0 {
+		t.Fatalf("clamped run exit %d, stderr: %s", code, stderr)
 	}
 }
 

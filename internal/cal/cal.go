@@ -19,6 +19,7 @@ import (
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/interp"
 	"amdgpubench/internal/isa"
+	"amdgpubench/internal/obs"
 	"amdgpubench/internal/pipeline"
 	"amdgpubench/internal/raster"
 	"amdgpubench/internal/sim"
@@ -58,6 +59,12 @@ type Context struct {
 	pipe     *pipeline.Pipeline
 	plan     atomic.Pointer[fault.Plan]
 	launches atomic.Uint64
+
+	// Per-fault-kind injection counters, resolved once from the
+	// pipeline's metrics registry so every context sharing a pipeline
+	// accumulates into the same set.
+	launchCount *obs.Counter
+	faultCounts map[string]*obs.Counter
 }
 
 // CreateContext creates a context with its own artifact-caching
@@ -74,7 +81,17 @@ func (d *Device) CreateContextWith(p *pipeline.Pipeline) *Context {
 	if p == nil {
 		p = pipeline.New(pipeline.Options{})
 	}
-	return &Context{dev: d, pipe: p}
+	reg := p.Metrics()
+	faults := make(map[string]*obs.Counter, 6)
+	for _, kind := range []string{"hang", "transient", "throttle", "corrupt", "drop", "device_lost"} {
+		faults[kind] = reg.Counter("cal.fault." + kind)
+	}
+	return &Context{
+		dev:         d,
+		pipe:        p,
+		launchCount: reg.Counter("cal.launches"),
+		faultCounts: faults,
+	}
 }
 
 // Pipeline returns the staged pipeline behind the context's launches.
@@ -202,6 +219,10 @@ type LaunchConfig struct {
 	// Attempt numbers retries of the same logical launch; it feeds the
 	// fault-injection key so a transient fault can clear on re-issue.
 	Attempt int
+	// Span, when non-zero, is the caller's tracing span for this launch;
+	// the pipeline stages (trace/replay/simulate) record themselves as
+	// its children. The zero Span is a no-op.
+	Span obs.Span
 }
 
 // Event is the result of a launch.
@@ -227,6 +248,7 @@ func (e *Event) Bottleneck() sim.Bottleneck { return e.Result.Bottleneck }
 // for a dead device.
 func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
 	c.launches.Add(1)
+	c.launchCount.Inc()
 	if cfg.W <= 0 || cfg.H <= 0 {
 		return nil, fmt.Errorf("cal: bad domain %dx%d", cfg.W, cfg.H)
 	}
@@ -239,6 +261,7 @@ func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
 	arch := c.dev.spec.Arch
 	inj := c.plan.Load().Draw(m.Kernel.Name,
 		fault.Key(m.Kernel.Name, arch.String(), cfg.W, cfg.H, cfg.Attempt))
+	c.countInjection(inj)
 	if inj.DeviceLost {
 		return nil, &LaunchError{Kind: ErrDeviceLost, Arch: arch, Kernel: m.Kernel.Name, Injected: inj}
 	}
@@ -265,7 +288,7 @@ func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
 			simCfg.Watchdog = sim.DefaultWatchdogBudget
 		}
 	}
-	res, err := c.pipe.Simulate(simCfg)
+	res, err := c.pipe.SimulateSpan(cfg.Span, simCfg)
 	if err != nil {
 		var wde *sim.WatchdogError
 		if errors.As(err, &wde) {
@@ -279,6 +302,32 @@ func (c *Context) Launch(m *Module, cfg LaunchConfig) (*Event, error) {
 		}
 	}
 	return &Event{Result: res, Injected: inj}, nil
+}
+
+// countInjection tallies each fault kind that struck a launch into the
+// pipeline's metrics registry (cal.fault.*).
+func (c *Context) countInjection(inj fault.Injection) {
+	if !inj.Any() {
+		return
+	}
+	if inj.Hang {
+		c.faultCounts["hang"].Inc()
+	}
+	if inj.Transient {
+		c.faultCounts["transient"].Inc()
+	}
+	if inj.Throttle != 0 {
+		c.faultCounts["throttle"].Inc()
+	}
+	if inj.Corrupt {
+		c.faultCounts["corrupt"].Inc()
+	}
+	if inj.Drop {
+		c.faultCounts["drop"].Inc()
+	}
+	if inj.DeviceLost {
+		c.faultCounts["device_lost"].Inc()
+	}
 }
 
 func (c *Context) validateBindings(m *Module, cfg LaunchConfig) error {

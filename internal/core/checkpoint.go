@@ -33,17 +33,22 @@ type checkpoint struct {
 	runs map[int]Run
 }
 
-// sweepSignature fingerprints a sweep: the kernel name, card, x and
-// domain of every point, plus the iteration count.
+// sweepSignature fingerprints a sweep: the kernel identity, card, x and
+// domain of every point, plus the iteration count. Kernel identity is
+// the structural hash of the IL (il.Kernel.Hash), not the kernel name:
+// two generator versions can emit different bodies under the same name,
+// and resuming the new sweep from the old sweep's checkpoint would
+// silently splice stale timings into the figure.
 func sweepSignature(pts []point, iterations int) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "iters=%d;n=%d;", iterations, len(pts))
 	for _, p := range pts {
-		name := ""
+		var kid string
 		if p.k != nil {
-			name = p.k.Name
+			sum := p.k.Hash()
+			kid = fmt.Sprintf("%x", sum[:8])
 		}
-		fmt.Fprintf(h, "%s|%s|%g|%dx%d;", p.card.Label(), name, p.x, p.w, p.h)
+		fmt.Fprintf(h, "%s|%s|%g|%dx%d;", p.card.Label(), kid, p.x, p.w, p.h)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

@@ -19,6 +19,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"amdgpubench/internal/fault"
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/obs"
 	"amdgpubench/internal/pipeline"
 	"amdgpubench/internal/raster"
 )
@@ -146,6 +148,21 @@ type Suite struct {
 	// way; the switch exists for baselines (`amdmb -no-cache`) and the
 	// cached-vs-uncached benchmarks. Set it before the first sweep.
 	DisableArtifactCache bool
+	// Tracer, when non-nil, records one span per kernel launch with the
+	// pipeline stages (generate/compile/trace/replay/simulate) nested
+	// inside it, exported as Chrome trace_event JSON (`amdmb -trace`). A
+	// nil Tracer costs one pointer comparison per launch.
+	Tracer *obs.Tracer
+	// Progress, when non-nil, receives a live single-line sweep progress
+	// report (points done/total, failures, cache hit rate, ETA) during
+	// runPoints (`amdmb -progress`).
+	Progress io.Writer
+	// MaxDomain, when positive, clamps every sweep point's domain to at
+	// most MaxDomain x MaxDomain. Figures shrink accordingly; the knob
+	// exists so CI smoke runs (`amdmb -max-domain`) finish in seconds.
+	// The clamp applies before checkpoint signatures are computed, so a
+	// clamped sweep never resumes from a full-domain checkpoint.
+	MaxDomain int
 
 	// pipe is the staged launch pipeline every context the suite opens
 	// shares, so compile and replay artifacts are reused across cards,
@@ -159,6 +176,11 @@ type Suite struct {
 	mu       sync.Mutex
 	failures []Run
 	launched atomic.Int64
+
+	// Sweep-level resilience counters (core.sweep.*), resolved once from
+	// the pipeline's metrics registry.
+	ctrOnce sync.Once
+	ctr     *sweepCounters
 	// testHookBeforeRun, when set, runs before every kernel launch; tests
 	// use it to inject panics into the sweep.
 	testHookBeforeRun func(p point, attempt int)
@@ -181,6 +203,54 @@ func (s *Suite) Pipeline() *pipeline.Pipeline {
 // CacheStats snapshots the shared pipeline's per-stage artifact-cache
 // counters (`amdmb -cache-stats`).
 func (s *Suite) CacheStats() pipeline.Stats { return s.Pipeline().Stats() }
+
+// Metrics returns the suite's metrics registry — the one the shared
+// pipeline, the cal contexts and the sweep runner all record into
+// (`amdmb -metrics`).
+func (s *Suite) Metrics() *obs.Registry { return s.Pipeline().Metrics() }
+
+// sweepCounters are the resilience counters the sweep runner maintains.
+type sweepCounters struct {
+	completed *obs.Counter // core.sweep.points.completed
+	failed    *obs.Counter // core.sweep.points.failed
+	restored  *obs.Counter // core.sweep.points.restored
+	retries   *obs.Counter // core.sweep.retries
+	backoffNS *obs.Counter // core.sweep.backoff_ns
+	panics    *obs.Counter // core.sweep.panics
+	timeouts  *obs.Counter // core.sweep.timeouts
+}
+
+// counters resolves the sweep counters once per suite.
+func (s *Suite) counters() *sweepCounters {
+	s.ctrOnce.Do(func() {
+		reg := s.Metrics()
+		s.ctr = &sweepCounters{
+			completed: reg.Counter("core.sweep.points.completed"),
+			failed:    reg.Counter("core.sweep.points.failed"),
+			restored:  reg.Counter("core.sweep.points.restored"),
+			retries:   reg.Counter("core.sweep.retries"),
+			backoffNS: reg.Counter("core.sweep.backoff_ns"),
+			panics:    reg.Counter("core.sweep.panics"),
+			timeouts:  reg.Counter("core.sweep.timeouts"),
+		}
+	})
+	return s.ctr
+}
+
+// cacheHitRate aggregates the pipeline's per-stage cache counters into
+// one hit fraction (hits and coalesced waits over all lookups), the
+// number the live progress line reports.
+func (s *Suite) cacheHitRate() float64 {
+	var hits, total uint64
+	for _, st := range s.Pipeline().Stats().Stages {
+		hits += st.Hits + st.Coalesced
+		total += st.Hits + st.Coalesced + st.Misses
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
 
 // context returns the suite's one context per architecture, opening the
 // device on first use. It is safe for concurrent callers: workers racing
@@ -207,6 +277,11 @@ func (s *Suite) context(a device.Arch) (*cal.Context, error) {
 // generate runs a kernel generator through the pipeline's Generate
 // stage, so identical sweep points share one IL artifact.
 func (s *Suite) generate(g pipeline.Generator, p kerngen.Params) (*il.Kernel, error) {
+	var sp obs.Span
+	if s.Tracer.Enabled() {
+		sp = s.Tracer.Begin("generate").Cat("stage")
+	}
+	defer sp.End()
 	return s.Pipeline().Generate(g, p)
 }
 
@@ -250,7 +325,24 @@ func (s *Suite) runKernel(card Card, k *il.Kernel, w, h, attempt int) (Run, erro
 	if err != nil {
 		return Run{}, err
 	}
+	// One root span per launch; the compile stage and (inside cal/
+	// pipeline) the trace/replay/simulate stages nest under it. The
+	// Enabled guard keeps the disabled path free of the fmt work the
+	// span arguments need.
+	var sp obs.Span
+	if s.Tracer.Enabled() {
+		sp = s.Tracer.Begin("launch").
+			Arg("kernel", k.Name).
+			Arg("card", card.Label()).
+			Arg("domain", fmt.Sprintf("%dx%d", w, h))
+		if attempt > 0 {
+			sp = sp.Arg("attempt", fmt.Sprintf("%d", attempt))
+		}
+	}
+	defer sp.End()
+	csp := sp.Child("compile").Cat("stage")
 	m, err := ctx.LoadModule(k)
+	csp.End()
 	if err != nil {
 		return Run{}, err
 	}
@@ -262,6 +354,7 @@ func (s *Suite) runKernel(card Card, k *il.Kernel, w, h, attempt int) (Run, erro
 	ev, err := ctx.Launch(m, cal.LaunchConfig{
 		Order: order, W: w, H: h, Iterations: s.Iterations,
 		DeadlineCycles: s.DeadlineCycles, Attempt: attempt,
+		Span: sp,
 	})
 	if err != nil {
 		return Run{}, err

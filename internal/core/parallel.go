@@ -10,6 +10,7 @@ import (
 
 	"amdgpubench/internal/cal"
 	"amdgpubench/internal/il"
+	"amdgpubench/internal/obs"
 )
 
 // The suite's sweeps are embarrassingly parallel: every (card, parameter)
@@ -54,6 +55,16 @@ var errLaunchPanic = errors.New("panic during launch")
 // compile or configuration error — is fatal, cancels the undispatched
 // points and fails the sweep.
 func (s *Suite) runPoints(pts []point) ([]Run, error) {
+	if s.MaxDomain > 0 {
+		for i := range pts {
+			if pts[i].w > s.MaxDomain {
+				pts[i].w = s.MaxDomain
+			}
+			if pts[i].h > s.MaxDomain {
+				pts[i].h = s.MaxDomain
+			}
+		}
+	}
 	for _, p := range pts {
 		if _, err := s.context(p.card.Arch); err != nil {
 			return nil, err
@@ -61,6 +72,7 @@ func (s *Suite) runPoints(pts []point) ([]Run, error) {
 	}
 	runs := make([]Run, len(pts))
 	done := make([]bool, len(pts))
+	ctr := s.counters()
 
 	var ck *checkpoint
 	if s.Checkpoint != "" {
@@ -75,6 +87,22 @@ func (s *Suite) runPoints(pts []point) ([]Run, error) {
 				done[i] = true
 			}
 		}
+	}
+
+	var prog *obs.Progress
+	if s.Progress != nil {
+		prog = obs.NewProgress(s.Progress, "sweep", len(pts))
+		defer prog.Finish()
+	}
+	restored := 0
+	for _, d := range done {
+		if d {
+			restored++
+		}
+	}
+	if restored > 0 {
+		ctr.restored.Add(int64(restored))
+		prog.Restored(restored)
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -112,6 +140,14 @@ func (s *Suite) runPoints(pts []point) ([]Run, error) {
 					continue
 				}
 				runs[i] = run
+				if run.Failed() {
+					ctr.failed.Inc()
+				} else {
+					ctr.completed.Inc()
+				}
+				if prog != nil {
+					prog.Point(run.Failed(), s.cacheHitRate())
+				}
 				if ck != nil && !run.Failed() {
 					if err := ck.put(i, run); err != nil {
 						fatal(err)
@@ -155,6 +191,7 @@ feed:
 // error is fatal for the sweep; recoverable failures come back as a Run
 // failure record.
 func (s *Suite) runPointResilient(ctx context.Context, p point) (Run, error) {
+	ctr := s.counters()
 	backoff := s.RetryBackoff
 	if backoff <= 0 {
 		backoff = time.Millisecond
@@ -169,12 +206,20 @@ func (s *Suite) runPointResilient(ctx context.Context, p point) (Run, error) {
 			return run, nil
 		}
 		if cal.IsTransient(err) && attempt <= s.Retries && ctx.Err() == nil {
+			ctr.retries.Inc()
+			ctr.backoffNS.Add(backoff.Nanoseconds())
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
 			}
 			backoff *= 2
 			continue
+		}
+		if errors.Is(err, errLaunchPanic) {
+			ctr.panics.Inc()
+		}
+		if errors.Is(err, cal.ErrKernelTimeout) {
+			ctr.timeouts.Inc()
 		}
 		if cal.IsRecoverable(err) || errors.Is(err, errLaunchPanic) {
 			return Run{

@@ -13,6 +13,8 @@ import (
 	"amdgpubench/internal/device"
 	"amdgpubench/internal/fault"
 	"amdgpubench/internal/il"
+	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/pipeline"
 )
 
 // sweepCfg is a cheap four-point sweep on one card; kernels are named
@@ -293,6 +295,67 @@ func TestCheckpointIgnoresForeignSweep(t *testing.T) {
 	}
 	if got := s2.KernelLaunches(); got != int64(len(runs2)) {
 		t.Fatalf("foreign checkpoint restored points: launched %d, want %d", got, len(runs2))
+	}
+}
+
+func TestSweepSignatureKeysOnKernelBodyNotName(t *testing.T) {
+	// Two kernels pinned to the same name but generated with different
+	// bodies (8 vs 4 inputs) must produce different sweep signatures:
+	// the signature keys on the structural IL hash, not the name.
+	s := quickSuite()
+	pa := kerngen.Params{
+		Mode: il.Pixel, Type: il.Float, Inputs: 4, Outputs: 1,
+		ALUFetchRatio: 1.0, Name: "same_name",
+	}
+	pb := pa
+	pb.Inputs = 8
+	ka, err := s.generate(pipeline.GenALUFetch, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := s.generate(pipeline.GenALUFetch, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka.Name != kb.Name {
+		t.Fatalf("precondition broken: names differ (%q vs %q)", ka.Name, kb.Name)
+	}
+	if ka.Hash() == kb.Hash() {
+		t.Fatal("precondition broken: kernel bodies identical")
+	}
+	card := Card{Arch: device.RV770, Mode: il.Pixel, Type: il.Float}
+	ptsA := []point{{card: card, x: 1, k: ka, w: 64, h: 64}}
+	ptsB := []point{{card: card, x: 1, k: kb, w: 64, h: 64}}
+	if sweepSignature(ptsA, 1) == sweepSignature(ptsB, 1) {
+		t.Fatal("sweep signature ignores the kernel body: different kernels under one name share a signature")
+	}
+}
+
+func TestCheckpointRejectsSameNameDifferentKernelBody(t *testing.T) {
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+
+	s1 := quickSuite()
+	s1.Checkpoint = ckpath
+	if _, _, err := s1.ALUFetchRatio(sweepCfg()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The same sweep with half the inputs: every kernel keeps its name
+	// (alufetch names encode only the ratio), x and domain, but the IL
+	// bodies differ. Resuming from the first run's checkpoint would
+	// splice the 16-input timings into the 8-input figure.
+	other := sweepCfg()
+	other.Inputs = 8
+	s2 := quickSuite()
+	s2.Checkpoint = ckpath
+	_, runs2, err := s2.ALUFetchRatio(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.KernelLaunches(); got != int64(len(runs2)) {
+		t.Fatalf("checkpoint for a different kernel body was resumed: launched %d, want %d",
+			got, len(runs2))
 	}
 }
 

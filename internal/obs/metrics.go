@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a named set of counters, gauges and histograms. Metric
+// handles are resolved once (map lookup under a mutex) and then updated
+// lock-free with atomics, so hot paths resolve at setup time and pay one
+// atomic add per event. A nil *Registry resolves every metric to a nil
+// handle, and nil handles no-op — observability off costs a nil check.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry constructs an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a valid no-op handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds (ascending; an implicit +Inf bucket is appended).
+// An existing histogram keeps its original bounds.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing value. Nil-safe.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value; zero on a nil counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that goes up and down. Nil-safe.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge's value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Load returns the current value; zero on a nil gauge.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed buckets — the allocation-free
+// latency shape the pipeline's per-stage compute times use. Nil-safe.
+type Histogram struct {
+	bounds []int64        // ascending upper bounds; counts has one extra +Inf slot
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// within the bucket that holds it; the +Inf bucket reports its lower
+// bound. Zero when empty or nil.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // +Inf bucket: no upper bound to interpolate to
+				return lo
+			}
+			hi := h.bounds[i]
+			frac := float64(rank-cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// DefaultLatencyBuckets are the fixed bounds (nanoseconds, powers of
+// four from 1µs to ~1s) the pipeline's per-stage compute histograms use.
+func DefaultLatencyBuckets() []int64 {
+	b := make([]int64, 0, 11)
+	for v := int64(1000); v <= 1_048_576_000; v *= 4 { // 1µs .. ~1.05s
+		b = append(b, v)
+	}
+	return b
+}
+
+// CounterValue is one counter or gauge in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram's summary in a snapshot.
+type HistogramValue struct {
+	Name  string `json:"name"`
+	Count int64  `json:"count"`
+	Sum   int64  `json:"sum"`
+	Mean  int64  `json:"mean"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+}
+
+// Snapshot is a point-in-time copy of every metric, sorted by name.
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []CounterValue   `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value. A nil registry snapshots
+// empty.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, CounterValue{Name: name, Value: c.Load()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, CounterValue{Name: name, Value: g.Load()})
+	}
+	for name, h := range r.histograms {
+		hv := HistogramValue{
+			Name:  name,
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+		}
+		if hv.Count > 0 {
+			hv.Mean = hv.Sum / hv.Count
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// Get returns the snapshotted counter or gauge value by name (zero when
+// absent) — a convenience for tests.
+func (s Snapshot) Get(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Format renders the snapshot as the table `amdmb -metrics` prints:
+// counters and gauges by name, then histogram summaries with
+// nanosecond values shown as durations.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	b.WriteString("Metrics\n")
+	w := 0
+	for _, c := range s.Counters {
+		if len(c.Name) > w {
+			w = len(c.Name)
+		}
+	}
+	for _, g := range s.Gauges {
+		if len(g.Name) > w {
+			w = len(g.Name)
+		}
+	}
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "%-*s %12d\n", w, c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "%-*s %12d (gauge)\n", w, g.Name, g.Value)
+	}
+	if len(s.Histograms) > 0 {
+		fmt.Fprintf(&b, "%-*s %12s %12s %12s %12s\n", w, "histogram", "count", "mean", "p50", "p95")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&b, "%-*s %12d %12s %12s %12s\n", w, h.Name, h.Count,
+				time.Duration(h.Mean).Round(time.Microsecond),
+				time.Duration(h.P50).Round(time.Microsecond),
+				time.Duration(h.P95).Round(time.Microsecond))
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON, for -metrics-json and
+// tooling that diffs runs.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", " ")
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndHandlesNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", DefaultLatencyBuckets())
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(1)
+	h.Observe(100)
+	if c.Load() != 0 || g.Load() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil metric handles recorded values")
+	}
+	if s := r.Snapshot(); len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil handles allocate %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestCounterAndGaugeResolveOnce(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("pipeline.compile.hits")
+	c2 := r.Counter("pipeline.compile.hits")
+	if c1 != c2 {
+		t.Fatal("same name resolved to different counters")
+	}
+	c1.Add(2)
+	c2.Inc()
+	if got := c1.Load(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("entries")
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Load(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100, 1000})
+	for _, v := range []int64{1, 5, 10, 50, 99, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != 1+5+10+50+99+500+5000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 10 || p50 > 100 {
+		t.Errorf("p50 = %d, want within (10,100]", p50)
+	}
+	// The top (+Inf) bucket reports its lower bound rather than inventing
+	// an upper one.
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 = %d, want 1000 (the +Inf bucket's floor)", q)
+	}
+	if q := (&Histogram{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %d", q)
+	}
+}
+
+func TestDefaultLatencyBucketsAscendPowersOfFour(t *testing.T) {
+	b := DefaultLatencyBuckets()
+	if len(b) == 0 || b[0] != 1000 {
+		t.Fatalf("buckets start at %v, want 1000ns", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] != 4*b[i-1] {
+			t.Fatalf("bucket %d = %d, want 4x previous %d", i, b[i], b[i-1])
+		}
+	}
+	if last := time.Duration(b[len(b)-1]); last < time.Second {
+		t.Fatalf("top bucket %v under a second", last)
+	}
+}
+
+func TestSnapshotSortedFormatAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.second").Add(2)
+	r.Counter("a.first").Add(1)
+	r.Gauge("g.entries").Set(4)
+	r.Histogram("h.lat", DefaultLatencyBuckets()).Observe(2000)
+
+	s := r.Snapshot()
+	if len(s.Counters) != 2 || s.Counters[0].Name != "a.first" || s.Counters[1].Name != "b.second" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	if s.Get("a.first") != 1 || s.Get("g.entries") != 4 || s.Get("missing") != 0 {
+		t.Fatalf("Get lookups wrong: %+v", s)
+	}
+
+	out := s.Format()
+	for _, want := range []string{"a.first", "b.second", "g.entries", "h.lat", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+
+	data, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Get("b.second") != 2 {
+		t.Fatalf("round-tripped snapshot lost values: %+v", back)
+	}
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsFreeAndSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	sp := tr.Begin("launch")
+	child := sp.Child("compile").Cat("stage").Arg("k", "v")
+	child.End()
+	sp.End()
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer recorded spans")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s := tr.Begin("x")
+		s.Child("y").End()
+		s.End()
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestSpansNestOnOneTrack(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("launch").Arg("kernel", "k1")
+	c1 := sp.Child("compile")
+	c1.End()
+	c2 := sp.Child("simulate")
+	c2.End()
+	sp.End()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	sortSpansByStart(spans)
+	root := spans[0]
+	if root.Name != "launch" || root.Args["kernel"] != "k1" {
+		t.Fatalf("first span = %+v, want the launch root", root)
+	}
+	for _, s := range spans[1:] {
+		if s.TID != root.TID {
+			t.Errorf("child %q on track %d, root on %d", s.Name, s.TID, root.TID)
+		}
+		if s.StartUS < root.StartUS || s.StartUS+s.DurUS > root.StartUS+root.DurUS+1 {
+			t.Errorf("child %q [%f,%f] not inside root [%f,%f]",
+				s.Name, s.StartUS, s.StartUS+s.DurUS, root.StartUS, root.StartUS+root.DurUS)
+		}
+	}
+}
+
+func TestConcurrentRootsGetDistinctTracksAndReuseThem(t *testing.T) {
+	tr := NewTracer()
+	// Two overlapping roots must land on different tracks.
+	a := tr.Begin("a")
+	b := tr.Begin("b")
+	if a.tid == b.tid {
+		t.Fatal("concurrent roots share a track")
+	}
+	a.End()
+	b.End()
+	// A later root reuses a released track instead of growing the set.
+	c := tr.Begin("c")
+	if c.tid != a.tid && c.tid != b.tid {
+		t.Fatalf("sequential root got fresh track %d, want reuse of %d or %d", c.tid, a.tid, b.tid)
+	}
+	c.End()
+}
+
+func TestTracerConcurrentUse(t *testing.T) {
+	tr := NewTracer()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := tr.Begin("launch")
+				sp.Child("stage").End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != 16*50*2 {
+		t.Fatalf("recorded %d spans, want %d", got, 16*50*2)
+	}
+}
+
+// TestExportEmitsWellFormedTraceEventJSON parses the rendered trace the
+// way the CI validation step does: a traceEvents array whose complete
+// events all carry name/ph/ts/pid/tid.
+func TestExportEmitsWellFormedTraceEventJSON(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.Begin("launch")
+	sp.Child("compile").End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	for _, e := range f.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			complete++
+			for _, k := range []string{"name", "ts", "pid", "tid"} {
+				if _, ok := e[k]; !ok {
+					t.Errorf("complete event missing %q: %v", k, e)
+				}
+			}
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected event phase %v", e["ph"])
+		}
+	}
+	if complete != 2 {
+		t.Errorf("trace has %d complete events, want 2", complete)
+	}
+	if meta == 0 {
+		t.Error("trace has no metadata (process/thread name) events")
+	}
+}
+
+func TestNilTracerWritesEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Fatalf("nil tracer wrote %d events", len(f.TraceEvents))
+	}
+}

@@ -38,7 +38,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"amdgpubench/internal/cache"
@@ -47,6 +46,7 @@ import (
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/isa"
 	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/obs"
 	"amdgpubench/internal/raster"
 	"amdgpubench/internal/sim"
 )
@@ -63,6 +63,10 @@ type Options struct {
 	CompileEntries  int
 	ReplayEntries   int
 	SimulateEntries int
+	// Metrics is the registry the per-stage counters, gauges and latency
+	// histograms register into; nil gets the pipeline its own registry,
+	// so counters (and Stats) always work.
+	Metrics *obs.Registry
 }
 
 const (
@@ -76,6 +80,7 @@ const (
 // concurrent use; cal contexts and core suites are its clients.
 type Pipeline struct {
 	disabled bool
+	metrics  *obs.Registry
 
 	generate *store[generateKey, *il.Kernel]
 	compile  *store[compileKey, *isa.Program]
@@ -91,10 +96,10 @@ type Pipeline struct {
 	// The Trace stage is a pure derivation with nothing worth storing;
 	// it keeps plain counters. simBypassed counts Simulate computations
 	// that skipped the store (fault-injected or unhashable programs).
-	traceCount  atomic.Uint64
-	traceNS     atomic.Uint64
-	simBypassed atomic.Uint64
-	simBypassNS atomic.Uint64
+	traceCount  *obs.Counter
+	traceNS     *obs.Counter
+	simBypassed *obs.Counter
+	simBypassNS *obs.Counter
 }
 
 // New builds a pipeline with the given store bounds.
@@ -111,18 +116,35 @@ func New(opts Options) *Pipeline {
 	if opts.SimulateEntries <= 0 {
 		opts.SimulateEntries = defaultSimulateEntries
 	}
-	p := &Pipeline{disabled: opts.Disabled}
-	p.generate = newStore[generateKey, *il.Kernel](opts.GenerateEntries, opts.Disabled, nil)
-	p.compile = newStore[compileKey, *isa.Program](opts.CompileEntries, opts.Disabled, func(_ compileKey, prog *isa.Program) {
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	p := &Pipeline{
+		disabled:    opts.Disabled,
+		metrics:     reg,
+		traceCount:  reg.Counter("pipeline.trace.derivations"),
+		traceNS:     reg.Counter("pipeline.trace.compute_ns"),
+		simBypassed: reg.Counter("pipeline.simulate.bypassed"),
+		simBypassNS: reg.Counter("pipeline.simulate.bypass_ns"),
+	}
+	p.generate = newStore[generateKey, *il.Kernel]("generate", reg, opts.GenerateEntries, opts.Disabled, nil)
+	p.compile = newStore[compileKey, *isa.Program]("compile", reg, opts.CompileEntries, opts.Disabled, func(_ compileKey, prog *isa.Program) {
 		p.progHash.Delete(prog)
 	})
-	p.replay = newStore[replayKey, cache.TraceStats](opts.ReplayEntries, opts.Disabled, nil)
-	p.simulate = newStore[simulateKey, sim.Result](opts.SimulateEntries, opts.Disabled, nil)
+	p.replay = newStore[replayKey, cache.TraceStats]("replay", reg, opts.ReplayEntries, opts.Disabled, nil)
+	p.simulate = newStore[simulateKey, sim.Result]("simulate", reg, opts.SimulateEntries, opts.Disabled, nil)
 	return p
 }
 
 // Enabled reports whether memoization is on.
 func (p *Pipeline) Enabled() bool { return !p.disabled }
+
+// Metrics returns the registry the pipeline's counters live in — the
+// one `-metrics` dumps. Clients (cal contexts, the sweep runner)
+// register their own counters into it so one snapshot covers the whole
+// launch path.
+func (p *Pipeline) Metrics() *obs.Registry { return p.metrics }
 
 // ---- Stage 1: Generate ----
 
@@ -278,7 +300,7 @@ func (p *Pipeline) Compile(k *il.Kernel, spec device.Spec, opts ilc.Options) (*i
 func (p *Pipeline) Trace(cfg sim.Config) (cache.TraceConfig, bool) {
 	start := time.Now()
 	tc, ok := sim.TraceConfigFor(cfg)
-	p.traceNS.Add(uint64(time.Since(start).Nanoseconds()))
+	p.traceNS.Add(time.Since(start).Nanoseconds())
 	p.traceCount.Add(1)
 	return tc, ok
 }
@@ -355,10 +377,24 @@ type simulateKey struct {
 // no content address and also bypass the result store (their replay
 // stage still memoizes).
 func (p *Pipeline) Simulate(cfg sim.Config) (sim.Result, error) {
+	return p.SimulateSpan(obs.Span{}, cfg)
+}
+
+// SimulateSpan is Simulate with a parent span: each stage the launch
+// passes through — trace, replay, the simulator run — records a child
+// span on the launch's track, which is how `amdmb -trace` shows a sweep
+// as per-launch lanes of nested stage spans. The zero Span traces
+// nothing and costs nothing.
+func (p *Pipeline) SimulateSpan(sp obs.Span, cfg sim.Config) (sim.Result, error) {
 	// Trace + Replay: serve the cache statistics from the artifact store
 	// so the simulator skips the trace-driven replay.
-	if tc, ok := p.Trace(cfg); ok {
+	tsp := sp.Child("trace").Cat("stage")
+	tc, ok := p.Trace(cfg)
+	tsp.End()
+	if ok {
+		rsp := sp.Child("replay").Cat("stage")
 		st, err := p.Replay(tc)
+		rsp.End()
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -368,10 +404,12 @@ func (p *Pipeline) Simulate(cfg sim.Config) (sim.Result, error) {
 	faulted := cfg.Hang != nil || (cfg.ClockFactor != 0 && cfg.ClockFactor != 1)
 	hash, addressed := p.hashOf(cfg.Prog)
 	if p.disabled || faulted || !addressed {
+		xsp := sp.Child("simulate").Cat("stage")
 		start := time.Now()
 		res, err := sim.Run(cfg)
-		p.simBypassNS.Add(uint64(time.Since(start).Nanoseconds()))
+		p.simBypassNS.Add(time.Since(start).Nanoseconds())
 		p.simBypassed.Add(1)
+		xsp.End()
 		return res, err
 	}
 
@@ -385,9 +423,12 @@ func (p *Pipeline) Simulate(cfg sim.Config) (sim.Result, error) {
 		ablate:     cfg.Ablate,
 		watchdog:   cfg.Watchdog,
 	}
-	return p.simulate.get(key, func() (sim.Result, error) {
+	xsp := sp.Child("simulate").Cat("stage")
+	res, err := p.simulate.get(key, func() (sim.Result, error) {
 		return sim.Run(cfg)
 	})
+	xsp.End()
+	return res, err
 }
 
 // hashOf returns the content address Compile recorded for prog.
@@ -405,7 +446,7 @@ func (p *Pipeline) hashOf(prog *isa.Program) ([sha256.Size]byte, bool) {
 // Stats snapshots every stage's counters.
 func (p *Pipeline) Stats() Stats {
 	simStats := p.simulate.stats("simulate")
-	simStats.Bypassed = p.simBypassed.Load()
+	simStats.Bypassed = uint64(p.simBypassed.Load())
 	simStats.ComputeTime += time.Duration(p.simBypassNS.Load())
 	return Stats{
 		Enabled: !p.disabled,
@@ -414,7 +455,7 @@ func (p *Pipeline) Stats() Stats {
 			p.compile.stats("compile"),
 			{
 				Stage:       "trace",
-				Misses:      p.traceCount.Load(),
+				Misses:      uint64(p.traceCount.Load()),
 				ComputeTime: time.Duration(p.traceNS.Load()),
 			},
 			p.replay.stats("replay"),

@@ -9,6 +9,7 @@ import (
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/obs"
 	"amdgpubench/internal/raster"
 	"amdgpubench/internal/sim"
 )
@@ -269,7 +270,7 @@ func TestDisabledPipelineRecomputesEverything(t *testing.T) {
 }
 
 func TestStoreSingleflightComputesOnce(t *testing.T) {
-	s := newStore[int, int](8, false, nil)
+	s := newStore[int, int]("test", obs.NewRegistry(), 8, false, nil)
 	const waiters = 16
 	computing := make(chan struct{})
 	release := make(chan struct{})
@@ -324,7 +325,7 @@ func TestStoreSingleflightComputesOnce(t *testing.T) {
 
 func TestStoreLRUEvictionIsBounded(t *testing.T) {
 	var evicted []int
-	s := newStore[int, int](2, false, func(k, _ int) { evicted = append(evicted, k) })
+	s := newStore[int, int]("test", obs.NewRegistry(), 2, false, func(k, _ int) { evicted = append(evicted, k) })
 	mustGet := func(k int) {
 		t.Helper()
 		if _, err := s.get(k, func() (int, error) { return k * 10, nil }); err != nil {
@@ -351,7 +352,7 @@ func TestStoreLRUEvictionIsBounded(t *testing.T) {
 }
 
 func TestStoreNeverCachesErrors(t *testing.T) {
-	s := newStore[int, int](8, false, nil)
+	s := newStore[int, int]("test", obs.NewRegistry(), 8, false, nil)
 	boom := errors.New("boom")
 	if _, err := s.get(1, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)

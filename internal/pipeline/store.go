@@ -3,8 +3,9 @@ package pipeline
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"amdgpubench/internal/obs"
 )
 
 // store is a bounded, content-addressed artifact store: an LRU map with
@@ -15,6 +16,11 @@ import (
 //
 // Values must be immutable once stored: every hit returns the same
 // artifact to every caller.
+//
+// Counters live in the pipeline's obs registry (resolved once at
+// construction, updated with one atomic add per event — the same cost as
+// the ad-hoc atomics they replaced), so `-cache-stats`, `-metrics` and
+// the progress reporter all read one set of numbers.
 type store[K comparable, V any] struct {
 	max      int
 	disabled bool
@@ -27,11 +33,13 @@ type store[K comparable, V any] struct {
 	items    map[K]*list.Element
 	inflight map[K]*call[V]
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	coalesced atomic.Uint64
-	evictions atomic.Uint64
-	computeNS atomic.Int64
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	computeNS *obs.Counter
+	entries   *obs.Gauge
+	latency   *obs.Histogram
 }
 
 type entry[K comparable, V any] struct {
@@ -46,15 +54,30 @@ type call[V any] struct {
 	err  error
 }
 
-func newStore[K comparable, V any](max int, disabled bool, onEvict func(K, V)) *store[K, V] {
+func newStore[K comparable, V any](stage string, reg *obs.Registry, max int, disabled bool, onEvict func(K, V)) *store[K, V] {
+	prefix := "pipeline." + stage + "."
 	return &store[K, V]{
-		max:      max,
-		disabled: disabled,
-		onEvict:  onEvict,
-		ll:       list.New(),
-		items:    make(map[K]*list.Element),
-		inflight: make(map[K]*call[V]),
+		max:       max,
+		disabled:  disabled,
+		onEvict:   onEvict,
+		ll:        list.New(),
+		items:     make(map[K]*list.Element),
+		inflight:  make(map[K]*call[V]),
+		hits:      reg.Counter(prefix + "hits"),
+		misses:    reg.Counter(prefix + "misses"),
+		coalesced: reg.Counter(prefix + "coalesced"),
+		evictions: reg.Counter(prefix + "evictions"),
+		computeNS: reg.Counter(prefix + "compute_ns"),
+		entries:   reg.Gauge(prefix + "entries"),
+		latency:   reg.Histogram(prefix+"compute_latency_ns", obs.DefaultLatencyBuckets()),
 	}
+}
+
+// observeCompute charges one miss's computation to the stage's counters.
+func (s *store[K, V]) observeCompute(d time.Duration) {
+	ns := d.Nanoseconds()
+	s.computeNS.Add(ns)
+	s.latency.Observe(ns)
 }
 
 // get returns the artifact for k, computing it at most once across
@@ -64,7 +87,7 @@ func (s *store[K, V]) get(k K, compute func() (V, error)) (V, error) {
 	if s.disabled {
 		start := time.Now()
 		v, err := compute()
-		s.computeNS.Add(time.Since(start).Nanoseconds())
+		s.observeCompute(time.Since(start))
 		s.misses.Add(1)
 		return v, err
 	}
@@ -89,7 +112,7 @@ func (s *store[K, V]) get(k K, compute func() (V, error)) (V, error) {
 
 	start := time.Now()
 	c.val, c.err = compute()
-	s.computeNS.Add(time.Since(start).Nanoseconds())
+	s.observeCompute(time.Since(start))
 	s.misses.Add(1)
 
 	s.mu.Lock()
@@ -106,6 +129,7 @@ func (s *store[K, V]) get(k K, compute func() (V, error)) (V, error) {
 				s.onEvict(e.key, e.val)
 			}
 		}
+		s.entries.Set(int64(s.ll.Len()))
 	}
 	s.mu.Unlock()
 	close(c.done)
@@ -122,10 +146,10 @@ func (s *store[K, V]) len() int {
 func (s *store[K, V]) stats(stage string) StageStats {
 	return StageStats{
 		Stage:       stage,
-		Hits:        s.hits.Load(),
-		Misses:      s.misses.Load(),
-		Coalesced:   s.coalesced.Load(),
-		Evictions:   s.evictions.Load(),
+		Hits:        uint64(s.hits.Load()),
+		Misses:      uint64(s.misses.Load()),
+		Coalesced:   uint64(s.coalesced.Load()),
+		Evictions:   uint64(s.evictions.Load()),
 		Entries:     s.len(),
 		ComputeTime: time.Duration(s.computeNS.Load()),
 	}

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"amdgpubench/internal/obs"
+)
+
+// TestStoreConcurrentEvictionConservation hammers a tiny store from many
+// goroutines so singleflight waiters race LRU eviction: a key can be
+// computed, evicted and recomputed while other goroutines are blocked on
+// its in-flight call. Run under -race (CI does) this doubles as a data
+// race check; the assertions below are the store's conservation laws,
+// which must hold at any interleaving:
+//
+//	gets      == hits + misses + coalesced   (every get is exactly one)
+//	onEvict   == evictions, once per key      (no double-free of artifacts)
+//	residents == misses - evictions           (every miss inserts, every
+//	                                           eviction removes)
+func TestStoreConcurrentEvictionConservation(t *testing.T) {
+	var (
+		evictMu sync.Mutex
+		evicted int
+	)
+	s := newStore[int, int]("race", obs.NewRegistry(), 4, false, func(k, v int) {
+		evictMu.Lock()
+		evicted++
+		evictMu.Unlock()
+		if v != k*10 {
+			t.Errorf("evicted key %d carries value %d, want %d", k, v, k*10)
+		}
+	})
+
+	const (
+		goroutines = 16
+		getsEach   = 300
+		keySpace   = 12 // 3x the store's capacity: constant eviction pressure
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < getsEach; i++ {
+				k := (g*7 + i) % keySpace
+				v, err := s.get(k, func() (int, error) {
+					if i%8 == 0 {
+						// Park some computations so waiters pile onto the
+						// in-flight call while other keys churn the LRU.
+						time.Sleep(50 * time.Microsecond)
+					}
+					return k * 10, nil
+				})
+				if err != nil {
+					t.Errorf("get(%d): %v", k, err)
+				}
+				if v != k*10 {
+					t.Errorf("get(%d) = %d, want %d", k, v, k*10)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	hits := s.hits.Load()
+	misses := s.misses.Load()
+	coalesced := s.coalesced.Load()
+	evictions := s.evictions.Load()
+
+	if total := hits + misses + coalesced; total != goroutines*getsEach {
+		t.Errorf("conservation broken: hits(%d)+misses(%d)+coalesced(%d) = %d, want %d gets",
+			hits, misses, coalesced, total, goroutines*getsEach)
+	}
+	evictMu.Lock()
+	calls := evicted
+	evictMu.Unlock()
+	if int64(calls) != evictions {
+		t.Errorf("onEvict ran %d times, store counted %d evictions", calls, evictions)
+	}
+	if resident := int64(s.len()); resident != misses-evictions {
+		t.Errorf("residency broken: %d resident, want misses(%d) - evictions(%d) = %d",
+			resident, misses, evictions, misses-evictions)
+	}
+	if s.len() > 4 {
+		t.Errorf("store holds %d entries, capacity 4", s.len())
+	}
+	if evictions == 0 {
+		t.Error("test exerted no evictions; raise the pressure")
+	}
+	if coalesced == 0 {
+		t.Error("test exerted no singleflight coalescing; raise the pressure")
+	}
+}

@@ -237,16 +237,32 @@ func (t *Table) Format() string {
 // tol above its minimum over the preceding plateau — the "bound switches
 // from fetch to ALU" point the paper reads off its ALU:Fetch figures.
 // Returns NaN when the series never leaves its plateau.
+//
+// The departure threshold is tol of the series' overall Y range (with a
+// tiny absolute floor), not tol of the plateau value: a multiplicative
+// threshold collapses to zero on a zero plateau (any float jitter would
+// "cross over") and inverts on a negative one (plateau*(1+tol) is
+// *below* the plateau, so the very first point fires).
 func Crossover(s Series, tol float64) float64 {
 	if len(s.Points) < 2 {
 		return math.NaN()
+	}
+	minY, maxY := s.Points[0].Y, s.Points[0].Y
+	for _, p := range s.Points {
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	delta := tol * (maxY - minY)
+	const floor = 1e-12
+	if delta < floor {
+		delta = floor
 	}
 	plateau := s.Points[0].Y
 	for _, p := range s.Points {
 		if p.Y < plateau {
 			plateau = p.Y
 		}
-		if p.Y > plateau*(1+tol) {
+		if p.Y > plateau+delta {
 			return p.X
 		}
 	}
@@ -274,8 +290,15 @@ func LinearFit(s Series) (slope, intercept, r2 float64) {
 	}
 	slope = (n*sxy - sx*sy) / den
 	intercept = (sy - slope*sx) / n
+	// syy - sy²/n is catastrophically cancellative for large, nearly
+	// constant Y (think seconds-scale offsets with nanosecond noise): the
+	// subtraction can underflow to a negative total sum of squares, which
+	// then flips the sign of the residual ratio and reports r² > 1 — or
+	// divides by a denormal and reports NaN. A non-positive ssTot means
+	// the series is flat to within float precision; the fit explains
+	// everything there is to explain.
 	ssTot := syy - sy*sy/n
-	if ssTot == 0 {
+	if ssTot <= 0 {
 		return slope, intercept, 1
 	}
 	var ssRes float64
@@ -284,5 +307,12 @@ func LinearFit(s Series) (slope, intercept, r2 float64) {
 		ssRes += d * d
 	}
 	r2 = 1 - ssRes/ssTot
+	// Rounding in ssRes/ssTot can still nudge the ratio past the
+	// mathematical bounds; clamp to the meaningful range.
+	if r2 < 0 {
+		r2 = 0
+	} else if r2 > 1 {
+		r2 = 1
+	}
 	return slope, intercept, r2
 }

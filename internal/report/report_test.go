@@ -124,6 +124,58 @@ func TestCrossoverIgnoresDescentToPlateau(t *testing.T) {
 	}
 }
 
+func TestCrossoverZeroAndNegativePlateaus(t *testing.T) {
+	// The threshold must be relative to the series' Y range, not a
+	// multiple of the plateau value: plateau*(1+tol) is zero on a zero
+	// plateau (so float jitter fires immediately) and below the plateau
+	// when it is negative (so the first point fires).
+	tests := []struct {
+		name string
+		pts  []Point
+		want float64 // NaN means no crossover
+	}{
+		{
+			name: "zero plateau with float jitter",
+			pts:  []Point{{1, 0}, {2, 1e-13}, {3, 0}, {4, 10}},
+			want: 4,
+		},
+		{
+			name: "all-zero series never crosses",
+			pts:  []Point{{1, 0}, {2, 0}, {3, 0}},
+			want: math.NaN(),
+		},
+		{
+			name: "negative plateau",
+			pts:  []Point{{1, -0.1}, {2, -0.1}, {3, -0.1}, {4, 2}},
+			want: 4,
+		},
+		{
+			name: "negative plateau with sub-floor jitter never crosses",
+			pts:  []Point{{1, -5}, {2, -5}, {3, -5 + 1e-13}},
+			want: math.NaN(),
+		},
+		{
+			name: "positive plateau unchanged",
+			pts:  []Point{{1, 10}, {2, 10}, {3, 13}},
+			want: 3,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Crossover(Series{Points: tc.pts}, 0.1)
+			if math.IsNaN(tc.want) {
+				if !math.IsNaN(got) {
+					t.Fatalf("crossover = %v, want NaN", got)
+				}
+				return
+			}
+			if got != tc.want {
+				t.Fatalf("crossover = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
 func TestLinearFit(t *testing.T) {
 	var s Series
 	for x := 1.0; x <= 10; x++ {
@@ -156,6 +208,36 @@ func TestLinearFitNoisy(t *testing.T) {
 	}
 	if r2 < 0.99 {
 		t.Fatalf("r2 = %v, want > 0.99", r2)
+	}
+}
+
+func TestLinearFitR2StaysInRangeUnderCancellation(t *testing.T) {
+	// A flat-but-for-float-noise series at a large offset: computing
+	// ssTot as syy - sy²/n cancels catastrophically and can go negative,
+	// which used to surface as r² > 1 or NaN. r² must stay in [0,1].
+	var s Series
+	for x := 1.0; x <= 6; x++ {
+		y := 1e8
+		if int(x)%2 == 0 {
+			y += 1e-8
+		}
+		s.Add(x, y)
+	}
+	_, _, r2 := LinearFit(s)
+	if math.IsNaN(r2) || r2 < 0 || r2 > 1 {
+		t.Fatalf("r2 = %v, want within [0,1]", r2)
+	}
+
+	// An exactly constant series: flat is a perfect fit by convention.
+	flat := Series{Points: []Point{{1, 7}, {2, 7}, {3, 7}}}
+	if _, _, r2 := LinearFit(flat); r2 != 1 {
+		t.Fatalf("flat series r2 = %v, want 1", r2)
+	}
+
+	// Pure noise around a constant must clamp at 0, not go negative.
+	noise := Series{Points: []Point{{1, 1}, {2, -1}, {3, 1}, {4, -1}}}
+	if _, _, r2 := LinearFit(noise); r2 < 0 || r2 > 1 {
+		t.Fatalf("noise r2 = %v, want within [0,1]", r2)
 	}
 }
 

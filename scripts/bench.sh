@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — run the suite's headline hot-path benchmarks and record the
 # results as BENCH_<sha>.json (one entry per benchmark: iterations, ns/op,
-# and every custom metric the benchmark reports, e.g. crossover ratios).
+# and every custom metric the benchmark reports, e.g. crossover ratios or
+# the repeated-sweep pair's cache-hit-rate).
 #
 # The JSON file is the comparable artifact for before/after performance
 # work: run it on two commits and diff the ns_per_op fields. CI uploads it
