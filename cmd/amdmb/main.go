@@ -5,10 +5,17 @@
 // Usage:
 //
 //	amdmb [flags] <experiment>...
+//	amdmb soak [flags]
 //
 // Experiments: table1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15a fig15b fig16 fig17 clausectl trans blocks consts summary ablate
 // all
+//
+// The soak subcommand runs seeded adversarial stress campaigns —
+// generated kernels under fault injection, kill/checkpoint/resume
+// cycles and cache churn, with continuous invariant oracles and
+// crash-torture of child amdmb processes; see soak.go and
+// internal/soak. `amdmb soak -h` lists its flags.
 //
 // Flags:
 //
@@ -232,6 +239,9 @@ func (c *cli) printFig2() error {
 // run is the whole command: parse flags, select experiments, execute
 // them on one suite, and summarize failures. It returns the exit status.
 func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) > 0 && argv[0] == "soak" {
+		return runSoak(argv[1:], stdout, stderr)
+	}
 	c := &cli{out: stdout, errOut: stderr}
 	fs := flag.NewFlagSet("amdmb", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -259,6 +269,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	exps := c.experiments()
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "usage: amdmb [flags] <experiment>...")
+		fmt.Fprintln(stderr, "       amdmb soak [flags]   (adversarial stress campaigns; amdmb soak -h)")
 		fmt.Fprintln(stderr, "experiments:")
 		for _, e := range exps {
 			fmt.Fprintf(stderr, "  %-10s %s\n", e.name, e.desc)

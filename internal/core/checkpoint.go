@@ -8,6 +8,8 @@ import (
 	"os"
 	"strconv"
 	"sync"
+
+	"amdgpubench/internal/obs"
 )
 
 // Sweep checkpointing: runPoints records every completed point into a
@@ -54,10 +56,14 @@ func sweepSignature(pts []point, iterations int) string {
 }
 
 // openCheckpoint loads the file if it exists and matches the signature.
-// A missing file or a signature mismatch starts an empty checkpoint; a
-// corrupt file is an error (silently discarding one would silently
-// recompute a half-finished campaign).
-func openCheckpoint(path, sig string) (*checkpoint, error) {
+// A missing file or a signature mismatch starts an empty checkpoint. A
+// corrupt file — a torn write from a kill mid-save on a filesystem
+// without atomic rename, or outside interference — is quarantined:
+// renamed to <path>.corrupt (preserved for diagnosis), counted on the
+// quarantined counter, and the sweep starts fresh. Recomputing a
+// half-finished campaign is the deterministic, safe outcome; wedging
+// every subsequent resume on one torn write is not.
+func openCheckpoint(path, sig string, quarantined *obs.Counter) (*checkpoint, error) {
 	ck := &checkpoint{path: path, sig: sig, runs: map[int]Run{}}
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -68,7 +74,11 @@ func openCheckpoint(path, sig string) (*checkpoint, error) {
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("core: checkpoint %s is corrupt: %w", path, err)
+		if rerr := os.Rename(path, path+".corrupt"); rerr != nil {
+			return nil, fmt.Errorf("core: checkpoint %s is corrupt (%v) and could not be quarantined: %w", path, err, rerr)
+		}
+		quarantined.Inc()
+		return ck, nil
 	}
 	if f.Signature != sig {
 		return ck, nil
@@ -93,11 +103,14 @@ func (c *checkpoint) get(i int) (Run, bool) {
 	return r, ok
 }
 
-// put records a completed point and rewrites the file atomically
-// (temp file + rename), so a kill mid-write never corrupts the
-// checkpoint. Rewriting the whole file per point is O(n) per save; at
-// the suite's sweep sizes (hundreds of points) that is well under the
-// cost of one simulated launch.
+// put records a completed point and rewrites the file crash-atomically:
+// the new contents are written to a temp file, fsynced, and renamed over
+// the old checkpoint, so a SIGKILL at any instant leaves either the old
+// complete file or the new complete file — never a torn mix (the crash-
+// torture harness in internal/soak exercises exactly this). Rewriting
+// the whole file per point is O(n) per save; at the suite's sweep sizes
+// (hundreds of points) that is well under the cost of one simulated
+// launch.
 func (c *checkpoint) put(i int, r Run) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -111,11 +124,31 @@ func (c *checkpoint) put(i int, r Run) error {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	if err := os.Rename(tmp, c.path); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	return nil
+}
+
+// writeFileSync writes data and forces it to stable storage before
+// returning. Without the Sync, rename-over-old is atomic against crashes
+// of the process but not of the machine: the rename can hit disk before
+// the data blocks, leaving a validly-named file of garbage.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -163,6 +163,11 @@ type Suite struct {
 	// The clamp applies before checkpoint signatures are computed, so a
 	// clamped sweep never resumes from a full-domain checkpoint.
 	MaxDomain int
+	// BeforeLaunch, when non-nil, runs before every kernel launch (every
+	// attempt, every worker). The soak campaigns use it to Interrupt a
+	// sweep at a deterministic launch ordinal for kill/resume cycles; it
+	// must be safe for concurrent calls.
+	BeforeLaunch func()
 
 	// pipe is the staged launch pipeline every context the suite opens
 	// shares, so compile and replay artifacts are reused across cards,
@@ -176,6 +181,12 @@ type Suite struct {
 	mu       sync.Mutex
 	failures []Run
 	launched atomic.Int64
+
+	// In-flight sweep stop functions, keyed by registration order;
+	// Interrupt invokes them all.
+	intrMu     sync.Mutex
+	sweepStops map[uint64]func()
+	sweepSeq   uint64
 
 	// Sweep-level resilience counters (core.sweep.*), resolved once from
 	// the pipeline's metrics registry.
@@ -211,13 +222,15 @@ func (s *Suite) Metrics() *obs.Registry { return s.Pipeline().Metrics() }
 
 // sweepCounters are the resilience counters the sweep runner maintains.
 type sweepCounters struct {
-	completed *obs.Counter // core.sweep.points.completed
-	failed    *obs.Counter // core.sweep.points.failed
-	restored  *obs.Counter // core.sweep.points.restored
-	retries   *obs.Counter // core.sweep.retries
-	backoffNS *obs.Counter // core.sweep.backoff_ns
-	panics    *obs.Counter // core.sweep.panics
-	timeouts  *obs.Counter // core.sweep.timeouts
+	completed   *obs.Counter // core.sweep.points.completed
+	failed      *obs.Counter // core.sweep.points.failed
+	restored    *obs.Counter // core.sweep.points.restored
+	retries     *obs.Counter // core.sweep.retries
+	backoffNS   *obs.Counter // core.sweep.backoff_ns
+	panics      *obs.Counter // core.sweep.panics
+	timeouts    *obs.Counter // core.sweep.timeouts
+	quarantined *obs.Counter // core.checkpoint.quarantined
+	interrupted *obs.Counter // core.sweep.interrupted
 }
 
 // counters resolves the sweep counters once per suite.
@@ -225,13 +238,15 @@ func (s *Suite) counters() *sweepCounters {
 	s.ctrOnce.Do(func() {
 		reg := s.Metrics()
 		s.ctr = &sweepCounters{
-			completed: reg.Counter("core.sweep.points.completed"),
-			failed:    reg.Counter("core.sweep.points.failed"),
-			restored:  reg.Counter("core.sweep.points.restored"),
-			retries:   reg.Counter("core.sweep.retries"),
-			backoffNS: reg.Counter("core.sweep.backoff_ns"),
-			panics:    reg.Counter("core.sweep.panics"),
-			timeouts:  reg.Counter("core.sweep.timeouts"),
+			completed:   reg.Counter("core.sweep.points.completed"),
+			failed:      reg.Counter("core.sweep.points.failed"),
+			restored:    reg.Counter("core.sweep.points.restored"),
+			retries:     reg.Counter("core.sweep.retries"),
+			backoffNS:   reg.Counter("core.sweep.backoff_ns"),
+			panics:      reg.Counter("core.sweep.panics"),
+			timeouts:    reg.Counter("core.sweep.timeouts"),
+			quarantined: reg.Counter("core.checkpoint.quarantined"),
+			interrupted: reg.Counter("core.sweep.interrupted"),
 		}
 	})
 	return s.ctr

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amdgpubench/internal/cal"
@@ -43,6 +44,68 @@ func (s *Suite) workers() int {
 // the sweep — and the process — survive.
 var errLaunchPanic = errors.New("panic during launch")
 
+// ErrSweepInterrupted reports that Interrupt cancelled the sweep before
+// every point completed. Points finished up to that moment are already
+// in the checkpoint (when one is armed), so a re-run with the same
+// configuration resumes rather than recomputes — the in-process half of
+// the kill/checkpoint/resume cycles the soak campaigns exercise.
+var ErrSweepInterrupted = errors.New("core: sweep interrupted")
+
+// Interrupt cancels every in-flight sweep on the suite: undispatched
+// points are abandoned and runPoints returns ErrSweepInterrupted.
+// Points already dispatched complete (and checkpoint) normally, so an
+// interrupted sweep's checkpoint is always a consistent prefix of the
+// campaign. Safe from any goroutine; a suite with no sweep in flight
+// ignores it.
+func (s *Suite) Interrupt() {
+	s.intrMu.Lock()
+	defer s.intrMu.Unlock()
+	for _, stop := range s.sweepStops {
+		stop()
+	}
+}
+
+// registerSweep adds a running sweep's stop function to the interrupt
+// set and returns its removal.
+func (s *Suite) registerSweep(stop func()) (unregister func()) {
+	s.intrMu.Lock()
+	defer s.intrMu.Unlock()
+	s.sweepSeq++
+	id := s.sweepSeq
+	if s.sweepStops == nil {
+		s.sweepStops = make(map[uint64]func())
+	}
+	s.sweepStops[id] = stop
+	return func() {
+		s.intrMu.Lock()
+		defer s.intrMu.Unlock()
+		delete(s.sweepStops, id)
+	}
+}
+
+// KernelPoint is one externally supplied sweep point: a prebuilt kernel
+// timed on a card at an x coordinate. It is how non-figure drivers — the
+// soak campaigns above all — put arbitrary generated kernels through the
+// resilient sweep runner with everything the paper sweeps get: worker
+// pool, retries with backoff, fault injection, panic fences, failure
+// records and checkpoint/resume.
+type KernelPoint struct {
+	Card Card
+	X    float64
+	K    *il.Kernel
+	W, H int
+}
+
+// RunKernelPoints times every point and returns the runs in input order,
+// with the same failure policy as the figure sweeps.
+func (s *Suite) RunKernelPoints(kps []KernelPoint) ([]Run, error) {
+	pts := make([]point, len(kps))
+	for i, kp := range kps {
+		pts[i] = point{card: kp.Card, x: kp.X, k: kp.K, w: kp.W, h: kp.H}
+	}
+	return s.runPoints(pts)
+}
+
 // runPoints times every point and returns the runs in input order.
 // Device contexts are created up front so a bad card fails the sweep
 // before any worker starts; the context map itself is safe for
@@ -77,7 +140,7 @@ func (s *Suite) runPoints(pts []point) ([]Run, error) {
 	var ck *checkpoint
 	if s.Checkpoint != "" {
 		var err error
-		ck, err = openCheckpoint(s.Checkpoint, sweepSignature(pts, s.Iterations))
+		ck, err = openCheckpoint(s.Checkpoint, sweepSignature(pts, s.Iterations), ctr.quarantined)
 		if err != nil {
 			return nil, err
 		}
@@ -107,6 +170,15 @@ func (s *Suite) runPoints(pts []point) ([]Run, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	// Interrupt stops the sweep through the same cancellation the fatal
+	// path uses; the flag separates "user asked" from "sweep died".
+	var intr atomic.Bool
+	unregister := s.registerSweep(func() {
+		intr.Store(true)
+		cancel()
+	})
+	defer unregister()
 
 	var (
 		mu       sync.Mutex
@@ -172,6 +244,10 @@ feed:
 
 	if fatalErr != nil {
 		return nil, fatalErr
+	}
+	if intr.Load() {
+		ctr.interrupted.Inc()
+		return nil, ErrSweepInterrupted
 	}
 	var failed []Run
 	for _, r := range runs {
@@ -239,6 +315,9 @@ func (s *Suite) runKernelSafe(p point, attempt int) (run Run, err error) {
 			err = fmt.Errorf("%w: %v", errLaunchPanic, rec)
 		}
 	}()
+	if s.BeforeLaunch != nil {
+		s.BeforeLaunch()
+	}
 	if s.testHookBeforeRun != nil {
 		s.testHookBeforeRun(p, attempt)
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -359,7 +360,7 @@ func TestCheckpointRejectsSameNameDifferentKernelBody(t *testing.T) {
 	}
 }
 
-func TestCheckpointCorruptFileIsAnError(t *testing.T) {
+func TestCheckpointCorruptFileQuarantined(t *testing.T) {
 	dir := t.TempDir()
 	ckpath := filepath.Join(dir, "sweep.json")
 	if err := os.WriteFile(ckpath, []byte("{not json"), 0o644); err != nil {
@@ -367,7 +368,207 @@ func TestCheckpointCorruptFileIsAnError(t *testing.T) {
 	}
 	s := quickSuite()
 	s.Checkpoint = ckpath
-	if _, _, err := s.ALUFetchRatio(sweepCfg()); err == nil || !strings.Contains(err.Error(), "corrupt") {
-		t.Fatalf("corrupt checkpoint silently ignored: %v", err)
+	fig, runs, err := s.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatalf("corrupt checkpoint wedged the sweep: %v", err)
+	}
+	// Everything recomputed: the garbage restored nothing.
+	if got := s.KernelLaunches(); got != int64(len(runs)) {
+		t.Fatalf("launched %d kernels, want %d (corrupt file must restore nothing)", got, len(runs))
+	}
+	// The torn file is preserved for diagnosis, not destroyed.
+	quarantined, err := os.ReadFile(ckpath + ".corrupt")
+	if err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if string(quarantined) != "{not json" {
+		t.Errorf("quarantine file content changed: %q", quarantined)
+	}
+	if got := s.Metrics().Snapshot().Get("core.checkpoint.quarantined"); got != 1 {
+		t.Errorf("core.checkpoint.quarantined = %d, want 1", got)
+	}
+	// The sweep rebuilt a valid checkpoint in place and its figure matches
+	// a clean run.
+	if n := readCheckpoint(t, ckpath); n != len(runs) {
+		t.Errorf("rebuilt checkpoint holds %d points, want %d", n, len(runs))
+	}
+	clean := quickSuite()
+	figClean, _, err := clean.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.CSV() != figClean.CSV() {
+		t.Errorf("figure after quarantine differs from clean run")
+	}
+}
+
+func TestCheckpointTruncatedMidRecordRecovers(t *testing.T) {
+	// A torn write — the failure mode crash-atomic saves prevent on
+	// rename-capable filesystems, and quarantine absorbs everywhere else:
+	// a checkpoint cut off mid-record must not wedge the resume.
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+
+	s1 := quickSuite()
+	s1.Checkpoint = ckpath
+	if _, _, err := s1.ALUFetchRatio(sweepCfg()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate inside a record: valid prefix, unterminated JSON.
+	if err := os.WriteFile(ckpath, data[:len(data)*2/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := quickSuite()
+	s2.Checkpoint = ckpath
+	fig2, runs2, err := s2.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatalf("truncated checkpoint aborted the resume: %v", err)
+	}
+	if got := s2.KernelLaunches(); got != int64(len(runs2)) {
+		t.Fatalf("truncated checkpoint restored points: launched %d, want %d", got, len(runs2))
+	}
+	if _, err := os.Stat(ckpath + ".corrupt"); err != nil {
+		t.Errorf("truncated file not quarantined: %v", err)
+	}
+	clean := quickSuite()
+	figClean, _, err := clean.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.CSV() != figClean.CSV() {
+		t.Errorf("recovered figure differs from clean run")
+	}
+}
+
+func TestCheckpointQuarantineCollisionIsError(t *testing.T) {
+	// If even the quarantine rename fails (a directory squatting on the
+	// .corrupt name), the error surfaces instead of silently looping.
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+	if err := os.WriteFile(ckpath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(ckpath+".corrupt", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Make the rename fail by planting a non-empty directory at the target.
+	if err := os.WriteFile(filepath.Join(ckpath+".corrupt", "occupied"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := quickSuite()
+	s.Checkpoint = ckpath
+	if _, _, err := s.ALUFetchRatio(sweepCfg()); err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("failed quarantine not surfaced: %v", err)
+	}
+}
+
+// interruptAfter arms the test hook to call Interrupt once the sweep has
+// started its nth launch, returning a counter of launches seen.
+func interruptAfter(s *Suite, n int64) *atomic.Int64 {
+	var seen atomic.Int64
+	s.testHookBeforeRun = func(p point, attempt int) {
+		if seen.Add(1) == n {
+			s.Interrupt()
+		}
+	}
+	return &seen
+}
+
+func TestInterruptedSweepResumesBitIdentical(t *testing.T) {
+	// The resume-under-concurrency contract: a sweep cancelled mid-flight
+	// on a multi-worker pool and resumed from its checkpoint must produce
+	// figure CSVs bit-identical to an uninterrupted run.
+	dir := t.TempDir()
+	ckpath := filepath.Join(dir, "sweep.json")
+
+	// Eight points on two workers: interrupting at the second launch
+	// leaves undispatched points behind, whatever the scheduling.
+	cfg := sweepCfg()
+	cfg.RatioMax = 2.0
+
+	s1 := quickSuite()
+	s1.Workers = 2
+	s1.Checkpoint = ckpath
+	interruptAfter(s1, 2)
+	_, _, err := s1.ALUFetchRatio(cfg)
+	if !errors.Is(err, ErrSweepInterrupted) {
+		t.Fatalf("want ErrSweepInterrupted, got %v", err)
+	}
+	if got := s1.Metrics().Snapshot().Get("core.sweep.interrupted"); got != 1 {
+		t.Errorf("core.sweep.interrupted = %d, want 1", got)
+	}
+	completed := readCheckpoint(t, ckpath)
+	if completed == 0 || completed >= 8 {
+		t.Fatalf("checkpoint holds %d of 8 points; interrupt landed outside mid-sweep", completed)
+	}
+
+	s2 := quickSuite()
+	s2.Workers = 2
+	s2.Checkpoint = ckpath
+	fig2, runs2, err := s2.ALUFetchRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s2.KernelLaunches(), int64(len(runs2)-completed); got != want {
+		t.Fatalf("resume launched %d kernels, want %d (total %d - checkpointed %d)",
+			got, want, len(runs2), completed)
+	}
+
+	clean := quickSuite()
+	figClean, _, err := clean.ALUFetchRatio(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig2.CSV() != figClean.CSV() {
+		t.Fatalf("interrupted+resumed figure differs from clean run:\n%s\nvs\n%s", fig2.CSV(), figClean.CSV())
+	}
+}
+
+func TestInterruptIdleSuiteIsNoop(t *testing.T) {
+	s := quickSuite()
+	s.Interrupt() // nothing in flight: must not wedge the next sweep
+	if _, _, err := s.ALUFetchRatio(sweepCfg()); err != nil {
+		t.Fatalf("sweep after idle Interrupt failed: %v", err)
+	}
+}
+
+func TestRunKernelPointsMatchesFigureSweep(t *testing.T) {
+	// RunKernelPoints is the soak campaigns' entry; driving the same
+	// kernels through it must reproduce the figure sweep's runs exactly.
+	s := quickSuite()
+	fig, runs, err := s.ALUFetchRatio(sweepCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = fig
+
+	s2 := quickSuite()
+	var kps []KernelPoint
+	card := sweepCfg().Cards[0]
+	for _, r := range []float64{0.25, 0.5, 0.75, 1.0} {
+		p := card.params(16, 1, il.TextureSpace, il.TextureSpace)
+		p.ALUFetchRatio = r
+		k, err := s2.generate(pipeline.GenALUFetch, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kps = append(kps, KernelPoint{Card: card, X: r, K: k, W: 64, H: 64})
+	}
+	runs2, err := s2.RunKernelPoints(kps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs2) != len(runs) {
+		t.Fatalf("RunKernelPoints returned %d runs, want %d", len(runs2), len(runs))
+	}
+	for i := range runs {
+		if runs[i] != runs2[i] {
+			t.Errorf("run %d differs: %+v vs %+v", i, runs[i], runs2[i])
+		}
 	}
 }

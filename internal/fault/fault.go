@@ -21,6 +21,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -248,8 +249,8 @@ func Parse(s string) (*Plan, error) {
 				switch key {
 				case "prob":
 					f, err := strconv.ParseFloat(val, 64)
-					if err != nil || f < 0 || f > 1 {
-						return nil, fmt.Errorf("fault: bad prob %q (want 0..1)", val)
+					if err != nil || math.IsNaN(f) || f < 0 || f > 1 {
+						return nil, fmt.Errorf("fault: bad prob %q in %q (want 0..1)", val, clause)
 					}
 					spec.Prob = f
 				case "match":
@@ -269,6 +270,15 @@ func Parse(s string) (*Plan, error) {
 				default:
 					return nil, fmt.Errorf("fault: unknown option %q in %q", key, clause)
 				}
+			}
+		}
+		// Two specs of the same kind scoped to the same kernels would draw
+		// twice for one failure mode — almost always a typo'd plan whose
+		// effective probability silently differs from what was written.
+		for _, prev := range p.Specs {
+			if prev.Kind == spec.Kind && prev.Match == spec.Match {
+				return nil, fmt.Errorf("fault: duplicate %s fault for match %q (clause %q)",
+					spec.Kind, spec.Match, clause)
 			}
 		}
 		p.Specs = append(p.Specs, spec)

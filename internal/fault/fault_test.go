@@ -130,6 +130,47 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+// TestParseRejectsInvalidSpecs pins the validation errors: out-of-range
+// or non-numeric probabilities and duplicate kinds per kernel scope are
+// rejected with a message naming the offending token, while distinct
+// scopes of one kind stay legal.
+func TestParseRejectsInvalidSpecs(t *testing.T) {
+	cases := []struct {
+		name, plan string
+		wantErr    []string // substrings the error must contain; nil = accept
+	}{
+		{"prob negative", "hang:prob=-0.1", []string{"bad prob", `"-0.1"`, "hang:prob=-0.1"}},
+		{"prob above one", "transient:prob=1.01", []string{"bad prob", `"1.01"`}},
+		{"prob NaN", "transient:prob=NaN", []string{"bad prob", `"NaN"`}},
+		{"prob not a number", "hang:prob=lots", []string{"bad prob", `"lots"`}},
+		{"duplicate bare kind", "hang;hang:prob=0.5", []string{"duplicate hang fault", `"hang:prob=0.5"`}},
+		{"duplicate kind same match", "transient:match=alufetch;transient:prob=0.2,match=alufetch",
+			[]string{"duplicate transient fault", `match "alufetch"`}},
+		{"same kind different match", "transient:match=alufetch;transient:match=readlat", nil},
+		{"same match different kinds", "hang:match=alufetch;transient:match=alufetch", nil},
+		{"probability endpoints", "hang:prob=0;transient:prob=1", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Parse(tc.plan)
+			if tc.wantErr == nil {
+				if err != nil {
+					t.Fatalf("Parse(%q) rejected a valid plan: %v", tc.plan, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted, parsed %+v", tc.plan, p)
+			}
+			for _, want := range tc.wantErr {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("Parse(%q) error %q does not name %q", tc.plan, err, want)
+				}
+			}
+		})
+	}
+}
+
 func TestInjectionString(t *testing.T) {
 	inj := Injection{Hang: true, HangClause: 3, Throttle: 0.5}
 	if got := inj.String(); got != "hang(clause=3)+throttle(0.50)" {

@@ -1,0 +1,130 @@
+package soak
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"amdgpubench/internal/fault"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenConfig is the pinned reference scenario: faults, kill cycles
+// and an injected-oracle-free plan at seed 42. Its rendering lives in
+// testdata/plan_seed42.golden; regenerate with `go test ./internal/soak
+// -run TestPlanGolden -update` and eyeball the diff — a plan change
+// invalidates every recorded repro bundle's seed.
+func goldenConfig(t *testing.T) Config {
+	plan, err := fault.Parse("seed=9;transient:prob=0.2;hang:prob=0.1,clause=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Seed: 42, KernelsPerStep: 3, KillEvery: 3, Faults: plan, Trace: true}
+}
+
+func TestPlanGolden(t *testing.T) {
+	var buf bytes.Buffer
+	RenderPlan(&buf, Plan(goldenConfig(t), 4))
+	path := filepath.Join("testdata", "plan_seed42.golden")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("plan drifted from golden.\n got:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := goldenConfig(t)
+	a, b := Plan(cfg, 6), Plan(cfg, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two plans from one config differ")
+	}
+	// Step contents depend only on (seed, index): a longer plan is an
+	// extension, not a reshuffle — what lets a duration-bounded campaign
+	// be a prefix of the unbounded one.
+	if long := Plan(cfg, 10); !reflect.DeepEqual(a, long[:6]) {
+		t.Fatal("plan prefix changed when the horizon grew")
+	}
+}
+
+func TestPlanSeedChangesEverything(t *testing.T) {
+	cfg := goldenConfig(t)
+	a := Plan(cfg, 3)
+	cfg.Seed = 43
+	b := Plan(cfg, 3)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+func TestPlanScenarioCadence(t *testing.T) {
+	cfg := goldenConfig(t) // KillEvery=3
+	steps := Plan(cfg, 7)
+	for _, st := range steps {
+		want := ScenarioSweep
+		if (st.Index+1)%3 == 0 {
+			want = ScenarioKillResume
+		}
+		if st.Scenario != want {
+			t.Errorf("step %d scenario %q, want %q", st.Index, st.Scenario, want)
+		}
+		if st.Scenario == ScenarioKillResume {
+			if st.KillAt < 1 || st.KillAt >= len(st.Points) {
+				t.Errorf("step %d kill_at=%d outside (0,%d)", st.Index, st.KillAt, len(st.Points))
+			}
+			if !hasOracle(st, OracleCheckpoint) {
+				t.Errorf("step %d killresume without checkpoint-identity oracle", st.Index)
+			}
+		}
+		if st.Probe < 0 || st.Probe >= len(st.Points) {
+			t.Errorf("step %d probe=%d out of range", st.Index, st.Probe)
+		}
+		if !hasOracle(st, OracleDeterminism) || !hasOracle(st, OracleMetrics) {
+			t.Errorf("step %d missing a standing oracle: %v", st.Index, st.Oracles)
+		}
+	}
+}
+
+func hasOracle(st StepPlan, name string) bool {
+	for _, o := range st.Oracles {
+		if o == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlanMaxDomainClampsPoints(t *testing.T) {
+	cfg := goldenConfig(t)
+	cfg.MaxDomain = 32
+	for _, st := range Plan(cfg, 4) {
+		for _, p := range st.Points {
+			if p.W > 32 || p.H > 32 {
+				t.Fatalf("step %d point %s domain %dx%d exceeds clamp", st.Index, p.Kernel, p.W, p.H)
+			}
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Steps != 8 || cfg.KernelsPerStep != 4 || cfg.Retries != 2 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	timed := Config{Duration: time.Second}.withDefaults()
+	if timed.Steps != 0 {
+		t.Fatalf("duration-bounded campaign grew a step bound: %+v", timed)
+	}
+}

@@ -1,0 +1,180 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+)
+
+// Crash torture is the out-of-process half of the kill/resume story:
+// where the in-process cycles (runKillResume) prove a cleanly cancelled
+// sweep resumes, torture proves a SIGKILLed *process* does — the kill
+// lands at whatever instant the checkpoint writer happens to be in,
+// which is exactly what the crash-atomic save protocol must survive.
+// The harness runs a child amdmb sweep against a checkpoint, waits for
+// it to make progress, kills it without ceremony, and repeats; the
+// final run must complete cleanly with zero quarantined checkpoints,
+// and the caller compares its output bit-for-bit against an
+// uninterrupted run.
+
+// TortureConfig parameterises a torture session.
+type TortureConfig struct {
+	// NewChild builds the child command for each cycle. Every cycle's
+	// command must describe the same sweep against Checkpoint, or resume
+	// signatures will not match and nothing is being tested.
+	NewChild func(cycle int) *exec.Cmd
+	// Checkpoint is the checkpoint file the children share; progress is
+	// measured by its record count growing.
+	Checkpoint string
+	// Cycles is how many SIGKILLs to land; zero means 3.
+	Cycles int
+	// Poll is the progress-poll interval; zero means 10ms.
+	Poll time.Duration
+	// Timeout bounds each cycle's wait for progress (and the final clean
+	// run); zero means 2 minutes.
+	Timeout time.Duration
+	// Out, when non-nil, receives one line per cycle.
+	Out io.Writer
+}
+
+// TortureResult is a session's outcome.
+type TortureResult struct {
+	// Kills counts children SIGKILLed after making checkpoint progress.
+	Kills int
+	// CleanExits counts children that finished the sweep before the kill
+	// landed (the sweep ran out of points to torture).
+	CleanExits int
+	// Quarantined counts .corrupt checkpoint files found afterwards —
+	// every one is a torn write the atomic save protocol let through,
+	// and the caller should treat any nonzero count as a failure.
+	Quarantined int
+	// Restored is the checkpoint record count the final clean run
+	// started from.
+	Restored int
+}
+
+// Torture runs the session: Cycles kills, then one run to completion.
+func Torture(cfg TortureConfig) (*TortureResult, error) {
+	if cfg.NewChild == nil || cfg.Checkpoint == "" {
+		return nil, fmt.Errorf("soak: torture needs NewChild and Checkpoint")
+	}
+	cycles := cfg.Cycles
+	if cycles <= 0 {
+		cycles = 3
+	}
+	poll := cfg.Poll
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+
+	res := &TortureResult{}
+	for cycle := 0; cycle < cycles; cycle++ {
+		base := checkpointRecords(cfg.Checkpoint)
+		cmd := cfg.NewChild(cycle)
+		if err := cmd.Start(); err != nil {
+			return res, fmt.Errorf("soak: torture cycle %d: %w", cycle, err)
+		}
+		exited := make(chan error, 1)
+		go func() { exited <- cmd.Wait() }()
+
+		deadline := time.Now().Add(timeout)
+		killed := false
+	wait:
+		for {
+			select {
+			case err := <-exited:
+				// The child finished (or died) before we saw progress.
+				if err != nil {
+					return res, fmt.Errorf("soak: torture cycle %d: child failed before kill: %w", cycle, err)
+				}
+				res.CleanExits++
+				break wait
+			default:
+			}
+			if checkpointRecords(cfg.Checkpoint) > base {
+				// Progress observed: kill mid-sweep, quite possibly
+				// mid-checkpoint-save.
+				_ = cmd.Process.Kill()
+				<-exited
+				res.Kills++
+				killed = true
+				break wait
+			}
+			if time.Now().After(deadline) {
+				_ = cmd.Process.Kill()
+				<-exited
+				return res, fmt.Errorf("soak: torture cycle %d: no checkpoint progress within %v", cycle, timeout)
+			}
+			time.Sleep(poll)
+		}
+		if cfg.Out != nil {
+			verb := "killed"
+			if !killed {
+				verb = "finished clean"
+			}
+			fmt.Fprintf(cfg.Out, "torture cycle %d: %s at %d checkpointed points\n",
+				cycle, verb, checkpointRecords(cfg.Checkpoint))
+		}
+		if !killed {
+			break // nothing left to torture
+		}
+	}
+
+	// The survivor: run to completion from whatever the kills left.
+	res.Restored = checkpointRecords(cfg.Checkpoint)
+	final := cfg.NewChild(cycles)
+	done := make(chan error, 1)
+	if err := final.Start(); err != nil {
+		return res, fmt.Errorf("soak: torture final run: %w", err)
+	}
+	go func() { done <- final.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return res, fmt.Errorf("soak: torture final run failed: %w", err)
+		}
+	case <-time.After(timeout):
+		_ = final.Process.Kill()
+		<-done
+		return res, fmt.Errorf("soak: torture final run exceeded %v", timeout)
+	}
+
+	res.Quarantined = countQuarantined(cfg.Checkpoint)
+	return res, nil
+}
+
+// checkpointRecords counts completed points in a checkpoint file. The
+// save protocol renames complete files into place, so any parse failure
+// here is either mid-session absence (0) or exactly the torn write the
+// torture session exists to catch — the final countQuarantined pass
+// will see its quarantine.
+func checkpointRecords(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	var f struct {
+		Runs map[string]json.RawMessage `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0
+	}
+	return len(f.Runs)
+}
+
+// countQuarantined counts quarantined checkpoint files next to path.
+func countQuarantined(path string) int {
+	matches, err := filepath.Glob(path + "*.corrupt")
+	if err != nil {
+		return 0
+	}
+	return len(matches)
+}
