@@ -11,6 +11,7 @@ import (
 	"math"
 	"testing"
 
+	"amdgpubench/internal/campaign"
 	"amdgpubench/internal/core"
 	"amdgpubench/internal/device"
 	"amdgpubench/internal/il"
@@ -336,4 +337,59 @@ func BenchmarkExtAblationStudy(b *testing.B) {
 			b.ReportMetric(r.Ratio(), "latency-hiding-slowdown")
 		}
 	}
+}
+
+// The bundle pair quantifies the campaign scheduler's dedup win on the
+// flagship fig7+fig8+fig11+fig16 bundle. Sequential is what four
+// separate amdmb invocations do — each figure on its own fresh suite,
+// cold caches — while Campaign plans the same four figures as one
+// deduplicated DAG on one suite, so work shared between figures (fig8's
+// kernels are fig7's compute kernels under another block shape) is
+// generated and compiled once. The deduped-executions metric is the
+// plan's own count of avoided pipeline executions; the ns/op gap
+// between the two benchmarks is the realized saving.
+
+func BenchmarkSequentialBundle(b *testing.B) {
+	figs := []func(*core.Suite) (*report.Figure, []core.Run, error){
+		(*core.Suite).Fig7, (*core.Suite).Fig8, (*core.Suite).Fig11, (*core.Suite).Fig16,
+	}
+	executed := 0
+	for i := 0; i < b.N; i++ {
+		executed = 0
+		for _, fig := range figs {
+			s := newSuite()
+			_, runs, err := fig(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			executed += len(runs)
+		}
+	}
+	b.ReportMetric(float64(executed), "points-executed")
+}
+
+func BenchmarkCampaignBundle(b *testing.B) {
+	var res *campaign.Result
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		specs, err := campaign.Specs(s, []string{"fig7", "fig8", "fig11", "fig16"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := campaign.NewPlan(specs, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res, err = plan.Run(s); err != nil {
+			b.Fatal(err)
+		}
+		if res.Failed() != 0 {
+			b.Fatalf("%d units failed", res.Failed())
+		}
+	}
+	if res.Stats.DedupedTotal() == 0 {
+		b.Fatal("flagship bundle must dedup")
+	}
+	b.ReportMetric(float64(res.Stats.DedupedTotal()), "deduped-executions")
+	b.ReportMetric(float64(res.Executed), "points-executed")
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"amdgpubench/internal/campaign"
+)
+
+// The campaign subcommand: plan several figures as one deduplicated DAG
+// of launch units (internal/campaign) and execute them as a single
+// resilient sweep — shared work runs once, its result fans out to every
+// subscribing figure, and one checkpoint covers the whole bundle.
+//
+//	amdmb campaign -figs fig7,fig8,fig11,fig16 -csv
+//	amdmb campaign -figs fig16,clausectl -plan     # schedule + dedup stats, run nothing
+//
+// Figures print to stdout in -figs order with exactly the rendering the
+// per-figure experiments use; the campaign summary line goes to stderr,
+// so piped stdout of a -csv campaign is byte-for-byte the concatenation
+// of the individual figures' CSV output. Exit status matches the main
+// command: 0 on success, 1 on a fatal error, 2 on usage errors, 3 when
+// units completed but recorded per-point failures.
+
+// runCampaignCmd is the `amdmb campaign` entry point; argv excludes the
+// "campaign" word itself.
+func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
+	c := &cli{out: stdout, errOut: stderr}
+	fs := flag.NewFlagSet("amdmb campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		figs     string
+		planOnly bool
+		workers  int
+	)
+	fs.StringVar(&figs, "figs", "", "comma-separated figures to schedule together (required)")
+	fs.BoolVar(&planOnly, "plan", false, "print the deduped schedule and dedup statistics, run nothing")
+	fs.IntVar(&workers, "workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+	c.commonFlags(fs)
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if len(fs.Args()) != 0 {
+		fmt.Fprintf(stderr, "amdmb campaign: unexpected arguments %q (figures go in -figs)\n", fs.Args())
+		return 2
+	}
+	if figs == "" {
+		fmt.Fprintln(stderr, "usage: amdmb campaign -figs a,b,... [flags]")
+		fmt.Fprintf(stderr, "figures: %s\n", strings.Join(campaign.FigureNames(), " "))
+		return 2
+	}
+	var names []string
+	for _, n := range strings.Split(figs, ",") {
+		n = strings.ToLower(strings.TrimSpace(n))
+		if n == "" {
+			continue
+		}
+		if !campaign.Known(n) {
+			fmt.Fprintf(stderr, "amdmb campaign: unknown figure %q\n", n)
+			fmt.Fprintf(stderr, "figures: %s\n", strings.Join(campaign.FigureNames(), " "))
+			return 2
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "amdmb campaign: -figs lists no figures")
+		return 2
+	}
+
+	s, err := c.newSuite()
+	if err != nil {
+		fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+		return 2
+	}
+	s.Workers = workers
+
+	specs, err := campaign.Specs(s, names)
+	if err != nil {
+		fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+		return 1
+	}
+	// The plan clamps domains itself with the same cap as the suite, so
+	// the dry-run schedule is exactly what the suite would execute.
+	plan, err := campaign.NewPlan(specs, campaign.Options{MaxDomain: c.maxDomain})
+	if err != nil {
+		fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+		return 1
+	}
+	if planOnly {
+		campaign.RenderPlan(stdout, plan)
+		return 0
+	}
+
+	res, err := plan.Run(s)
+	if err != nil {
+		fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+		return 1
+	}
+	for _, fig := range res.Figures {
+		if err := c.emitFigure(fig); err != nil {
+			fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "campaign: figures=%d points=%d units=%d deduped=%d executed=%d restored=%d failed=%d\n",
+		res.Stats.Figures, res.Stats.Points, len(plan.Units), res.Stats.DedupedTotal(),
+		res.Executed, len(plan.Units)-res.Executed, res.Failed())
+	return c.epilogue(s)
+}

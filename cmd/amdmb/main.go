@@ -5,11 +5,19 @@
 // Usage:
 //
 //	amdmb [flags] <experiment>...
+//	amdmb campaign -figs fig7,fig8,fig11,fig16 [flags]
 //	amdmb soak [flags]
 //
 // Experiments: table1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
 // fig15a fig15b fig16 fig17 clausectl trans blocks consts summary ablate
 // all
+//
+// The campaign subcommand plans several figures as one deduplicated DAG
+// of launch units and executes them as a single resilient sweep, so
+// work shared between figures runs once and a checkpoint spans the
+// whole bundle; `-plan` prints the schedule and dedup statistics
+// without running. See campaign.go and internal/campaign; `amdmb
+// campaign -h` lists its flags.
 //
 // The soak subcommand runs seeded adversarial stress campaigns —
 // generated kernels under fault injection, kill/checkpoint/resume
@@ -236,18 +244,12 @@ func (c *cli) printFig2() error {
 	return nil
 }
 
-// run is the whole command: parse flags, select experiments, execute
-// them on one suite, and summarize failures. It returns the exit status.
-func run(argv []string, stdout, stderr io.Writer) int {
-	if len(argv) > 0 && argv[0] == "soak" {
-		return runSoak(argv[1:], stdout, stderr)
-	}
-	c := &cli{out: stdout, errOut: stderr}
-	fs := flag.NewFlagSet("amdmb", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+// commonFlags registers the flags shared by the main command and the
+// campaign subcommand — the whole suite configuration surface — so the
+// two cannot drift apart.
+func (c *cli) commonFlags(fs *flag.FlagSet) {
 	fs.BoolVar(&c.csv, "csv", false, "emit CSV instead of ASCII plots")
 	fs.IntVar(&c.iters, "iters", 0, "kernel iterations per timing (default 5000)")
-	fs.BoolVar(&c.showRuns, "runs", false, "print per-point run details")
 	fs.StringVar(&c.outDir, "o", "", "also write <dir>/<figure>.csv and a matching gnuplot script")
 	fs.Uint64Var(&c.timeout, "timeout", 0, "per-launch watchdog budget in simulated cycles (0 = simulator default)")
 	fs.IntVar(&c.retries, "retries", 2, "retry attempts for transient launch failures")
@@ -260,6 +262,84 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	fs.BoolVar(&c.metricsJSON, "metrics-json", false, "print the metrics registry as JSON (implies -metrics)")
 	fs.BoolVar(&c.progress, "progress", false, "show a live per-sweep progress line on stderr")
 	fs.IntVar(&c.maxDomain, "max-domain", 0, "clamp every sweep domain to at most NxN (0 = no clamp)")
+}
+
+// newSuite builds the suite the parsed flags describe. A bad fault plan
+// is the only way it fails, and that is a usage error.
+func (c *cli) newSuite() (*core.Suite, error) {
+	s := core.NewSuite()
+	s.Iterations = c.iters
+	s.Retries = c.retries
+	s.DeadlineCycles = c.timeout
+	s.Checkpoint = c.checkpoint
+	s.DisableArtifactCache = c.noCache
+	s.MaxDomain = c.maxDomain
+	if c.tracePath != "" {
+		s.Tracer = obs.NewTracer()
+	}
+	if c.progress {
+		s.Progress = c.errOut
+	}
+	if c.faults != "" {
+		plan, err := fault.Parse(c.faults)
+		if err != nil {
+			return nil, err
+		}
+		s.Faults = plan
+	}
+	return s, nil
+}
+
+// epilogue finishes a run: trace export, cache stats, metrics, and the
+// failure summary. The return value is the exit status — 0 clean, 1 on
+// an export error, 3 when sweeps completed around recorded failures.
+func (c *cli) epilogue(s *core.Suite) int {
+	if c.tracePath != "" {
+		if err := s.Tracer.WriteFile(c.tracePath); err != nil {
+			fmt.Fprintf(c.errOut, "amdmb: -trace: %v\n", err)
+			return 1
+		}
+	}
+	if c.cacheStats {
+		fmt.Fprintln(c.out, s.CacheStats().Format())
+	}
+	if c.metrics || c.metricsJSON {
+		snap := s.Metrics().Snapshot()
+		if c.metricsJSON {
+			data, err := snap.JSON()
+			if err != nil {
+				fmt.Fprintf(c.errOut, "amdmb: -metrics-json: %v\n", err)
+				return 1
+			}
+			fmt.Fprintln(c.out, string(data))
+		} else {
+			fmt.Fprintln(c.out, snap.Format())
+		}
+	}
+	if failures := s.Failures(); len(failures) > 0 {
+		fmt.Fprintln(c.out, failureTable(failures).Format())
+		fmt.Fprintf(c.errOut, "amdmb: %d point(s) failed and were recorded; sweeps completed\n", len(failures))
+		return 3
+	}
+	return 0
+}
+
+// run is the whole command: parse flags, select experiments, execute
+// them on one suite, and summarize failures. It returns the exit status.
+func run(argv []string, stdout, stderr io.Writer) int {
+	if len(argv) > 0 {
+		switch argv[0] {
+		case "soak":
+			return runSoak(argv[1:], stdout, stderr)
+		case "campaign":
+			return runCampaignCmd(argv[1:], stdout, stderr)
+		}
+	}
+	c := &cli{out: stdout, errOut: stderr}
+	fs := flag.NewFlagSet("amdmb", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	c.commonFlags(fs)
+	fs.BoolVar(&c.showRuns, "runs", false, "print per-point run details")
 	fs.StringVar(&c.cpuprofile, "cpuprofile", "", "write a CPU profile of the run to this file")
 	fs.StringVar(&c.memprofile, "memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(argv); err != nil {
@@ -269,6 +349,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	exps := c.experiments()
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "usage: amdmb [flags] <experiment>...")
+		fmt.Fprintln(stderr, "       amdmb campaign -figs a,b,... [flags]   (deduped multi-figure schedule; amdmb campaign -h)")
 		fmt.Fprintln(stderr, "       amdmb soak [flags]   (adversarial stress campaigns; amdmb soak -h)")
 		fmt.Fprintln(stderr, "experiments:")
 		for _, e := range exps {
@@ -325,26 +406,10 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	s := core.NewSuite()
-	s.Iterations = c.iters
-	s.Retries = c.retries
-	s.DeadlineCycles = c.timeout
-	s.Checkpoint = c.checkpoint
-	s.DisableArtifactCache = c.noCache
-	s.MaxDomain = c.maxDomain
-	if c.tracePath != "" {
-		s.Tracer = obs.NewTracer()
-	}
-	if c.progress {
-		s.Progress = stderr
-	}
-	if c.faults != "" {
-		plan, err := fault.Parse(c.faults)
-		if err != nil {
-			fmt.Fprintf(stderr, "amdmb: %v\n", err)
-			return 2
-		}
-		s.Faults = plan
+	s, err := c.newSuite()
+	if err != nil {
+		fmt.Fprintf(stderr, "amdmb: %v\n", err)
+		return 2
 	}
 
 	for _, name := range selected {
@@ -353,34 +418,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
-	if c.tracePath != "" {
-		if err := s.Tracer.WriteFile(c.tracePath); err != nil {
-			fmt.Fprintf(stderr, "amdmb: -trace: %v\n", err)
-			return 1
-		}
-	}
-	if c.cacheStats {
-		fmt.Fprintln(c.out, s.CacheStats().Format())
-	}
-	if c.metrics || c.metricsJSON {
-		snap := s.Metrics().Snapshot()
-		if c.metricsJSON {
-			data, err := snap.JSON()
-			if err != nil {
-				fmt.Fprintf(stderr, "amdmb: -metrics-json: %v\n", err)
-				return 1
-			}
-			fmt.Fprintln(c.out, string(data))
-		} else {
-			fmt.Fprintln(c.out, snap.Format())
-		}
-	}
-	if failures := s.Failures(); len(failures) > 0 {
-		fmt.Fprintln(c.out, failureTable(failures).Format())
-		fmt.Fprintf(stderr, "amdmb: %d point(s) failed and were recorded; sweeps completed\n", len(failures))
-		return 3
-	}
-	return 0
+	return c.epilogue(s)
 }
 
 // writeMemProfile snapshots the heap after a final GC, so the profile

@@ -1,0 +1,138 @@
+package campaign
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"amdgpubench/internal/core"
+	"amdgpubench/internal/report"
+)
+
+// Campaign metrics, on the suite's shared registry next to the
+// core.sweep.* family:
+//
+//	campaign.figures.planned  — figures in the plan
+//	campaign.points.planned   — figure points before dedup
+//	campaign.points.deduped   — cross-figure pipeline executions avoided
+//	                            (all three DAG levels; Stats.DedupedTotal)
+//	campaign.points.fanout    — figure points served by fanning units out
+//	campaign.units.planned    — launch units scheduled
+//	campaign.units.executed   — units that actually ran (not restored
+//	                            from the campaign checkpoint)
+//	campaign.units.completed  — executed units that resolved cleanly
+//	campaign.units.failed     — executed units that resolved to a
+//	                            failure record
+
+// Result is one executed campaign: per-spec figures and fanned-out runs
+// (parallel to Plan.Specs), the raw per-unit runs in scheduled order,
+// and the accounting.
+type Result struct {
+	Figures []*report.Figure
+	Runs    [][]core.Run
+	// UnitRuns[i] is the run for Plan.Units[i], before fan-out — its Card
+	// and X are the representative subscriber's.
+	UnitRuns []core.Run
+	Stats    Stats
+	// Executed counts units that ran this invocation; Units minus
+	// Executed were restored from the campaign checkpoint.
+	Executed int
+}
+
+// Failed counts units that resolved to failure records.
+func (r *Result) Failed() int {
+	n := 0
+	for _, run := range r.UnitRuns {
+		if run.Failed() {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the plan on the suite as ONE resilient sweep over the
+// deduplicated units, then fans every unit's run back out to its
+// subscribing figure points and finishes each spec's figure. Because the
+// whole campaign is a single sweep, the suite's checkpoint (when armed)
+// is campaign-granular: a kill mid-campaign resumes across figure
+// boundaries through the existing crash-atomic save path, and the
+// deterministic unit order keeps the sweep signature stable between the
+// killed and resumed invocations.
+//
+// Fan-out copies the unit's run per subscriber, overriding Card and X
+// with the subscriber's own coordinates (dedup must not relabel a
+// figure's series); failed units fan their failure record out the same
+// way, so per-figure failure accounting matches a sequential run. The
+// returned error is the sweep's own (fatal pipeline errors, or
+// core.ErrSweepInterrupted verbatim so callers can errors.Is on it).
+func (p *Plan) Run(s *core.Suite) (*Result, error) {
+	m := s.Metrics()
+	m.Counter("campaign.figures.planned").Add(int64(p.Stats.Figures))
+	m.Counter("campaign.points.planned").Add(int64(p.Stats.Points))
+	m.Counter("campaign.points.deduped").Add(int64(p.Stats.DedupedTotal()))
+	m.Counter("campaign.units.planned").Add(int64(len(p.Units)))
+	unitsExecuted := m.Counter("campaign.units.executed")
+	unitsCompleted := m.Counter("campaign.units.completed")
+	unitsFailed := m.Counter("campaign.units.failed")
+	fanout := m.Counter("campaign.points.fanout")
+
+	root := s.Tracer.Begin("campaign").Cat("campaign").
+		Arg("figures", strconv.Itoa(p.Stats.Figures)).
+		Arg("points", strconv.Itoa(p.Stats.Points)).
+		Arg("units", strconv.Itoa(len(p.Units))).
+		Arg("deduped", strconv.Itoa(p.Stats.DedupedTotal()))
+	defer root.End()
+
+	kps := make([]core.KernelPoint, len(p.Units))
+	for i, u := range p.Units {
+		kps[i] = u.Point
+	}
+
+	// The observe hook runs on worker goroutines: counters are atomic and
+	// the tracer is concurrency-safe, so no extra locking here. Restored
+	// units are never observed, which is exactly what makes
+	// campaign.units.executed the "ran this invocation" count.
+	var executed atomic.Int64
+	observe := func(i int) func(core.Run) {
+		executed.Add(1)
+		unitsExecuted.Inc()
+		u := &p.Units[i]
+		sp := s.Tracer.Begin("unit").Cat("campaign").
+			Arg("kernel", u.Point.K.Name).
+			Arg("card", u.Point.Card.Label()).
+			Arg("refs", strconv.Itoa(len(u.Refs)))
+		return func(run core.Run) {
+			if run.Failed() {
+				unitsFailed.Inc()
+			} else {
+				unitsCompleted.Inc()
+			}
+			sp.End()
+		}
+	}
+
+	unitRuns, err := s.RunKernelPointsObserved(kps, observe)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		UnitRuns: unitRuns,
+		Stats:    p.Stats,
+		Executed: int(executed.Load()),
+	}
+	for si := range p.Specs {
+		spec := p.Specs[si].Figure
+		figRuns := make([]core.Run, len(spec.Points))
+		for pi, pt := range spec.Points {
+			run := unitRuns[p.unitOf[si][pi]]
+			run.Card = pt.Card
+			run.X = pt.X
+			figRuns[pi] = run
+		}
+		fanout.Add(int64(len(figRuns)))
+		spec.FinishInto(figRuns)
+		res.Figures = append(res.Figures, spec.Fig)
+		res.Runs = append(res.Runs, figRuns)
+	}
+	return res, nil
+}

@@ -43,10 +43,10 @@ func (c *ALUFetchConfig) defaults() {
 	}
 }
 
-// ALUFetchRatio sweeps the ALU:Fetch ratio and reports execution time per
-// ratio, locating the point where the bottleneck flips from the texture
-// fetch units to the ALUs.
-func (s *Suite) ALUFetchRatio(cfg ALUFetchConfig) (*report.Figure, []Run, error) {
+// ALUFetchSpec plans the ALU:Fetch ratio sweep without running anything:
+// one kernel per (card, ratio), card-major, ready for RunFigureSpec or a
+// multi-figure campaign plan.
+func (s *Suite) ALUFetchSpec(cfg ALUFetchConfig) (FigureSpec, error) {
 	cfg.defaults()
 	fig := &report.Figure{
 		ID:     "alufetch",
@@ -54,45 +54,30 @@ func (s *Suite) ALUFetchRatio(cfg ALUFetchConfig) (*report.Figure, []Run, error)
 		XLabel: "ALU:Fetch Ratio",
 		YLabel: "Time in seconds",
 	}
-	var pts []point
+	var pts []KernelPoint
 	for _, card := range cfg.Cards {
 		for r := cfg.RatioMin; r <= cfg.RatioMax+1e-9; r += cfg.RatioStep {
 			p := card.params(cfg.Inputs, 1, cfg.InputSpace, cfg.OutSpace)
 			p.ALUFetchRatio = r
 			k, err := s.generate(pipeline.GenALUFetch, p)
 			if err != nil {
-				return nil, nil, err
+				return FigureSpec{}, err
 			}
-			pts = append(pts, point{card: card, x: r, k: k, w: cfg.W, h: cfg.H})
+			pts = append(pts, KernelPoint{Card: card, X: r, K: k, W: cfg.W, H: cfg.H})
 		}
 	}
-	runs, err := s.runPoints(pts)
+	return FigureSpec{Fig: fig, Points: pts}, nil
+}
+
+// ALUFetchRatio sweeps the ALU:Fetch ratio and reports execution time per
+// ratio, locating the point where the bottleneck flips from the texture
+// fetch units to the ALUs.
+func (s *Suite) ALUFetchRatio(cfg ALUFetchConfig) (*report.Figure, []Run, error) {
+	spec, err := s.ALUFetchSpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	assembleSeries(fig, runs)
-	return fig, runs, nil
-}
-
-// assembleSeries groups card-major ordered runs into one series per card:
-// a new series starts whenever the card changes. Per-point failure
-// records plot nothing — a detected failure must never fold into a
-// curve as a bogus timing.
-func assembleSeries(fig *report.Figure, runs []Run) {
-	var cur *report.Series
-	started := false
-	var last Card
-	for _, r := range runs {
-		if !started || r.Card != last {
-			cur = fig.AddSeries(r.Card.Label())
-			last = r.Card
-			started = true
-		}
-		if r.Failed() {
-			continue
-		}
-		cur.Add(r.X, r.Seconds)
-	}
+	return s.RunFigureSpec(spec)
 }
 
 // ReadLatencyConfig parameterises the fetch/read latency sweep (III-B).
@@ -119,32 +104,36 @@ func (c *ReadLatencyConfig) defaults() {
 	}
 }
 
-// ReadLatency sweeps the input count with the ALU count pinned to
-// inputs-1, keeping the fetch path the bottleneck.
-func (s *Suite) ReadLatency(cfg ReadLatencyConfig) (*report.Figure, []Run, error) {
+// ReadLatencySpec plans the read latency sweep.
+func (s *Suite) ReadLatencySpec(cfg ReadLatencyConfig) (FigureSpec, error) {
 	cfg.defaults()
 	title := "Texture Fetch Latency"
 	if cfg.Space == il.GlobalSpace {
 		title = "Global Read Latency"
 	}
 	fig := &report.Figure{ID: "readlat", Title: title, XLabel: "Number of Inputs", YLabel: "Time in seconds"}
-	var pts []point
+	var pts []KernelPoint
 	for _, card := range cfg.Cards {
 		for n := cfg.MinInputs; n <= cfg.MaxInputs; n++ {
 			p := card.params(n, 1, cfg.Space, il.TextureSpace)
 			k, err := s.generate(pipeline.GenReadLatency, p)
 			if err != nil {
-				return nil, nil, err
+				return FigureSpec{}, err
 			}
-			pts = append(pts, point{card: card, x: float64(n), k: k, w: cfg.W, h: cfg.H})
+			pts = append(pts, KernelPoint{Card: card, X: float64(n), K: k, W: cfg.W, H: cfg.H})
 		}
 	}
-	runs, err := s.runPoints(pts)
+	return FigureSpec{Fig: fig, Points: pts}, nil
+}
+
+// ReadLatency sweeps the input count with the ALU count pinned to
+// inputs-1, keeping the fetch path the bottleneck.
+func (s *Suite) ReadLatency(cfg ReadLatencyConfig) (*report.Figure, []Run, error) {
+	spec, err := s.ReadLatencySpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	assembleSeries(fig, runs)
-	return fig, runs, nil
+	return s.RunFigureSpec(spec)
 }
 
 // WriteLatencyConfig parameterises the write latency sweep (III-C).
@@ -176,15 +165,15 @@ func (c *WriteLatencyConfig) defaults() {
 	}
 }
 
-// WriteLatency sweeps the output count at constant inputs and ALU ops.
-func (s *Suite) WriteLatency(cfg WriteLatencyConfig) (*report.Figure, []Run, error) {
+// WriteLatencySpec plans the write latency sweep.
+func (s *Suite) WriteLatencySpec(cfg WriteLatencyConfig) (FigureSpec, error) {
 	cfg.defaults()
 	title := "Streaming Store Latency"
 	if cfg.Space == il.GlobalSpace {
 		title = "Global Write Latency"
 	}
 	fig := &report.Figure{ID: "writelat", Title: title, XLabel: "Number of Outputs", YLabel: "Time in seconds"}
-	var pts []point
+	var pts []KernelPoint
 	for _, card := range cfg.Cards {
 		if cfg.Space == il.TextureSpace && card.Mode == il.Compute {
 			continue // compute mode does not support streaming stores
@@ -193,17 +182,21 @@ func (s *Suite) WriteLatency(cfg WriteLatencyConfig) (*report.Figure, []Run, err
 			p := card.params(cfg.Inputs, n, il.TextureSpace, cfg.Space)
 			k, err := s.generate(pipeline.GenWriteLatency, p)
 			if err != nil {
-				return nil, nil, err
+				return FigureSpec{}, err
 			}
-			pts = append(pts, point{card: card, x: float64(n), k: k, w: cfg.W, h: cfg.H})
+			pts = append(pts, KernelPoint{Card: card, X: float64(n), K: k, W: cfg.W, H: cfg.H})
 		}
 	}
-	runs, err := s.runPoints(pts)
+	return FigureSpec{Fig: fig, Points: pts}, nil
+}
+
+// WriteLatency sweeps the output count at constant inputs and ALU ops.
+func (s *Suite) WriteLatency(cfg WriteLatencyConfig) (*report.Figure, []Run, error) {
+	spec, err := s.WriteLatencySpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	assembleSeries(fig, runs)
-	return fig, runs, nil
+	return s.RunFigureSpec(spec)
 }
 
 // DomainConfig parameterises the domain size sweep (III-D).
@@ -233,12 +226,11 @@ func (c *DomainConfig) defaults() {
 	}
 }
 
-// DomainSize sweeps square domains at ALU:Fetch ratio 10 (ALU bound, 8
-// inputs, 1 output, so occupancy stays constant).
-func (s *Suite) DomainSize(cfg DomainConfig) (*report.Figure, []Run, error) {
+// DomainSizeSpec plans the domain size sweep.
+func (s *Suite) DomainSizeSpec(cfg DomainConfig) (FigureSpec, error) {
 	cfg.defaults()
 	fig := &report.Figure{ID: "domain", Title: "Impact of Domain Size", XLabel: "Domain Size", YLabel: "Time in seconds"}
-	var pts []point
+	var pts []KernelPoint
 	for _, card := range cfg.Cards {
 		step := cfg.StepPix
 		if card.Mode == il.Compute {
@@ -248,17 +240,22 @@ func (s *Suite) DomainSize(cfg DomainConfig) (*report.Figure, []Run, error) {
 			p := card.params(8, 1, il.TextureSpace, il.TextureSpace)
 			k, err := s.generate(pipeline.GenDomain, p)
 			if err != nil {
-				return nil, nil, err
+				return FigureSpec{}, err
 			}
-			pts = append(pts, point{card: card, x: float64(d), k: k, w: d, h: d})
+			pts = append(pts, KernelPoint{Card: card, X: float64(d), K: k, W: d, H: d})
 		}
 	}
-	runs, err := s.runPoints(pts)
+	return FigureSpec{Fig: fig, Points: pts}, nil
+}
+
+// DomainSize sweeps square domains at ALU:Fetch ratio 10 (ALU bound, 8
+// inputs, 1 output, so occupancy stays constant).
+func (s *Suite) DomainSize(cfg DomainConfig) (*report.Figure, []Run, error) {
+	spec, err := s.DomainSizeSpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	assembleSeries(fig, runs)
-	return fig, runs, nil
+	return s.RunFigureSpec(spec)
 }
 
 // RegisterUsageConfig parameterises the register pressure sweep (III-E).
@@ -301,16 +298,18 @@ func (c *RegisterUsageConfig) defaults() {
 	}
 }
 
-// RegisterUsage sweeps the sampling placement (step) and reports execution
-// time against the resulting register count — Fig. 16's axes.
-func (s *Suite) RegisterUsage(cfg RegisterUsageConfig) (*report.Figure, []Run, error) {
+// RegisterUsageSpec plans the register pressure sweep. Its Finish re-keys
+// each run's X from the step index to the compiled register count —
+// Fig. 16's x axis is known only after the runs complete; failed points
+// have no compile result to re-key by.
+func (s *Suite) RegisterUsageSpec(cfg RegisterUsageConfig) (FigureSpec, error) {
 	cfg.defaults()
 	title := "Register Pressure Effect"
 	if cfg.Control {
 		title = "Clause Usage Control (constant registers)"
 	}
 	fig := &report.Figure{ID: "regusage", Title: title, XLabel: "Global Purpose Registers", YLabel: "Time in seconds"}
-	var pts []point
+	var pts []KernelPoint
 	for _, card := range cfg.Cards {
 		for step := 0; step <= cfg.MaxStep; step++ {
 			if cfg.Inputs-cfg.Space*step < 2 {
@@ -326,24 +325,30 @@ func (s *Suite) RegisterUsage(cfg RegisterUsageConfig) (*report.Figure, []Run, e
 			}
 			k, err := s.generate(gen, p)
 			if err != nil {
-				return nil, nil, err
+				return FigureSpec{}, err
 			}
-			pts = append(pts, point{card: card, x: float64(step), k: k, w: cfg.W, h: cfg.H})
+			pts = append(pts, KernelPoint{Card: card, X: float64(step), K: k, W: cfg.W, H: cfg.H})
 		}
 	}
-	runs, err := s.runPoints(pts)
+	finish := func(fig *report.Figure, runs []Run) {
+		for i := range runs {
+			if !runs[i].Failed() {
+				runs[i].X = float64(runs[i].GPRs)
+			}
+		}
+		AssembleSeries(fig, runs)
+	}
+	return FigureSpec{Fig: fig, Points: pts, Finish: finish}, nil
+}
+
+// RegisterUsage sweeps the sampling placement (step) and reports execution
+// time against the resulting register count — Fig. 16's axes.
+func (s *Suite) RegisterUsage(cfg RegisterUsageConfig) (*report.Figure, []Run, error) {
+	spec, err := s.RegisterUsageSpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	// The x axis is the compiled register count, known only after the
-	// runs complete; failed points have no compile result to re-key by.
-	for i := range runs {
-		if !runs[i].Failed() {
-			runs[i].X = float64(runs[i].GPRs)
-		}
-	}
-	assembleSeries(fig, runs)
-	return fig, runs, nil
+	return s.RunFigureSpec(spec)
 }
 
 // HardwareTable reproduces Table I from the device models.

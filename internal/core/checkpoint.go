@@ -123,14 +123,25 @@ func (c *checkpoint) put(i int, r Run) error {
 	if err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
-	tmp := c.path + ".tmp"
-	if err := writeFileSync(tmp, data); err != nil {
-		return fmt.Errorf("core: checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, c.path); err != nil {
+	if err := WriteFileAtomic(c.path, data); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
 	}
 	return nil
+}
+
+// WriteFileAtomic writes data to path crash-atomically with the same
+// temp+fsync+rename discipline the sweep checkpoint uses: a SIGKILL (or
+// machine crash, thanks to the fsync) at any instant leaves either the
+// old complete file or the new complete file, never a torn mix. It is
+// exported so higher layers persisting campaign state — the campaign
+// scheduler's report files above all — share this one writer instead of
+// growing weaker copies.
+func WriteFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // writeFileSync writes data and forces it to stable storage before

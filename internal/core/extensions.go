@@ -76,12 +76,10 @@ func (c *TransThroughputConfig) defaults() {
 	}
 }
 
-// TransThroughput measures dependent-chain throughput of transcendental
-// versus basic operations for float and float4 data. Basic float4 ops ride
-// the 4-wide VLIW slots (one bundle per op); float4 transcendentals
-// serialize through the single t core at one lane per bundle, costing 4x —
-// the asymmetry the paper's Section II hardware description implies.
-func (s *Suite) TransThroughput(cfg TransThroughputConfig) (*report.Figure, []Run, error) {
+// TransThroughputSpec plans the transcendental extension sweep. Series
+// carry custom labels (data type x op kind), so the spec's Finish closes
+// over the per-point label list instead of using AssembleSeries.
+func (s *Suite) TransThroughputSpec(cfg TransThroughputConfig) (FigureSpec, error) {
 	cfg.defaults()
 	fig := &report.Figure{
 		ID:     "trans",
@@ -89,7 +87,7 @@ func (s *Suite) TransThroughput(cfg TransThroughputConfig) (*report.Figure, []Ru
 		XLabel: "Chain length (ops)",
 		YLabel: "Time in seconds",
 	}
-	var pts []point
+	var pts []KernelPoint
 	var labels []string
 	for _, dt := range []il.DataType{il.Float, il.Float4} {
 		for _, basic := range []bool{true, false} {
@@ -101,25 +99,41 @@ func (s *Suite) TransThroughput(cfg TransThroughputConfig) (*report.Figure, []Ru
 			for n := cfg.StepOps; n <= cfg.MaxOps; n += cfg.StepOps {
 				k, err := transKernel(n, dt, basic)
 				if err != nil {
-					return nil, nil, err
+					return FigureSpec{}, err
 				}
-				pts = append(pts, point{card: card, x: float64(n), k: k, w: cfg.W, h: cfg.H})
+				pts = append(pts, KernelPoint{Card: card, X: float64(n), K: k, W: cfg.W, H: cfg.H})
 				labels = append(labels, fmt.Sprintf("%s %s %s", cfg.Arch.CardName(), dt, kind))
 			}
 		}
 	}
-	runs, err := s.runPoints(pts)
+	return FigureSpec{Fig: fig, Points: pts, Finish: labelledSeries(labels)}, nil
+}
+
+// TransThroughput measures dependent-chain throughput of transcendental
+// versus basic operations for float and float4 data. Basic float4 ops ride
+// the 4-wide VLIW slots (one bundle per op); float4 transcendentals
+// serialize through the single t core at one lane per bundle, costing 4x —
+// the asymmetry the paper's Section II hardware description implies.
+func (s *Suite) TransThroughput(cfg TransThroughputConfig) (*report.Figure, []Run, error) {
+	spec, err := s.TransThroughputSpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	var cur *report.Series
-	for i, r := range runs {
-		if i == 0 || labels[i] != labels[i-1] {
-			cur = fig.AddSeries(labels[i])
+	return s.RunFigureSpec(spec)
+}
+
+// labelledSeries builds a Finish that groups runs by a parallel label
+// list: a new series starts whenever the label changes.
+func labelledSeries(labels []string) func(*report.Figure, []Run) {
+	return func(fig *report.Figure, runs []Run) {
+		var cur *report.Series
+		for i, r := range runs {
+			if i == 0 || labels[i] != labels[i-1] {
+				cur = fig.AddSeries(labels[i])
+			}
+			cur.Add(r.X, r.Seconds)
 		}
-		cur.Add(r.X, r.Seconds)
 	}
-	return fig, runs, nil
 }
 
 // BlockSizeConfig parameterises the compute-mode block-shape sweep, the
@@ -149,11 +163,10 @@ var blockShapes = []struct{ w, h int }{
 	{64, 1}, {32, 2}, {16, 4}, {8, 8}, {4, 16}, {2, 32}, {1, 64},
 }
 
-// BlockSizeSweep times one fetch-bound kernel across every 64-thread block
-// shape in compute mode on the GDDR5 chips. The square-ish shapes match
-// the 8x8 texture tiles and win; the paper's 64x1 default and its 4x16
-// suggestion are two points on this curve.
-func (s *Suite) BlockSizeSweep(cfg BlockSizeConfig) (*report.Figure, []Run, error) {
+// BlockSizeSpec plans the compute block-shape sweep. Block shape changes
+// within a series, so the series labels come from a closed-over label
+// list (Card.Label omits the block shape by design).
+func (s *Suite) BlockSizeSpec(cfg BlockSizeConfig) (FigureSpec, error) {
 	cfg.defaults()
 	fig := &report.Figure{
 		ID:     "blocks",
@@ -161,7 +174,7 @@ func (s *Suite) BlockSizeSweep(cfg BlockSizeConfig) (*report.Figure, []Run, erro
 		XLabel: "log2(block height) [64x1 .. 1x64]",
 		YLabel: "Time in seconds",
 	}
-	var pts []point
+	var pts []KernelPoint
 	var labels []string
 	for _, arch := range []device.Arch{device.RV770, device.RV870} {
 		for _, dt := range []il.DataType{il.Float, il.Float4} {
@@ -173,25 +186,26 @@ func (s *Suite) BlockSizeSweep(cfg BlockSizeConfig) (*report.Figure, []Run, erro
 				p.ALUFetchRatio = cfg.Ratio
 				k, err := s.generate(pipeline.GenALUFetch, p)
 				if err != nil {
-					return nil, nil, err
+					return FigureSpec{}, err
 				}
-				pts = append(pts, point{card: card, x: float64(i), k: k, w: cfg.W, h: cfg.H})
+				pts = append(pts, KernelPoint{Card: card, X: float64(i), K: k, W: cfg.W, H: cfg.H})
 				labels = append(labels, label)
 			}
 		}
 	}
-	runs, err := s.runPoints(pts)
+	return FigureSpec{Fig: fig, Points: pts, Finish: labelledSeries(labels)}, nil
+}
+
+// BlockSizeSweep times one fetch-bound kernel across every 64-thread block
+// shape in compute mode on the GDDR5 chips. The square-ish shapes match
+// the 8x8 texture tiles and win; the paper's 64x1 default and its 4x16
+// suggestion are two points on this curve.
+func (s *Suite) BlockSizeSweep(cfg BlockSizeConfig) (*report.Figure, []Run, error) {
+	spec, err := s.BlockSizeSpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	var cur *report.Series
-	for i, r := range runs {
-		if i == 0 || labels[i] != labels[i-1] {
-			cur = fig.AddSeries(labels[i])
-		}
-		cur.Add(r.X, r.Seconds)
-	}
-	return fig, runs, nil
+	return s.RunFigureSpec(spec)
 }
 
 // ConstantsConfig parameterises the constants sweep. The paper lists the
@@ -223,10 +237,8 @@ func (c *ConstantsConfig) defaults() {
 	}
 }
 
-// ConstantsSweep times one kernel shape with 0..MaxConstants constants
-// folded into its (fixed-length) chain. The curve must be flat and the
-// register count must not move.
-func (s *Suite) ConstantsSweep(cfg ConstantsConfig) (*report.Figure, []Run, error) {
+// ConstantsSpec plans the constants sweep.
+func (s *Suite) ConstantsSpec(cfg ConstantsConfig) (FigureSpec, error) {
 	cfg.defaults()
 	fig := &report.Figure{
 		ID:     "consts",
@@ -234,7 +246,7 @@ func (s *Suite) ConstantsSweep(cfg ConstantsConfig) (*report.Figure, []Run, erro
 		XLabel: "Number of Constants",
 		YLabel: "Time in seconds",
 	}
-	var pts []point
+	var pts []KernelPoint
 	for _, dt := range []il.DataType{il.Float, il.Float4} {
 		card := Card{Arch: cfg.Arch, Mode: il.Pixel, Type: dt}
 		for n := 0; n <= cfg.MaxConstants; n += 4 {
@@ -243,17 +255,23 @@ func (s *Suite) ConstantsSweep(cfg ConstantsConfig) (*report.Figure, []Run, erro
 			p.Constants = n
 			k, err := s.generate(pipeline.GenGeneric, p)
 			if err != nil {
-				return nil, nil, err
+				return FigureSpec{}, err
 			}
-			pts = append(pts, point{card: card, x: float64(n), k: k, w: cfg.W, h: cfg.H})
+			pts = append(pts, KernelPoint{Card: card, X: float64(n), K: k, W: cfg.W, H: cfg.H})
 		}
 	}
-	runs, err := s.runPoints(pts)
+	return FigureSpec{Fig: fig, Points: pts}, nil
+}
+
+// ConstantsSweep times one kernel shape with 0..MaxConstants constants
+// folded into its (fixed-length) chain. The curve must be flat and the
+// register count must not move.
+func (s *Suite) ConstantsSweep(cfg ConstantsConfig) (*report.Figure, []Run, error) {
+	spec, err := s.ConstantsSpec(cfg)
 	if err != nil {
 		return nil, nil, err
 	}
-	assembleSeries(fig, runs)
-	return fig, runs, nil
+	return s.RunFigureSpec(spec)
 }
 
 // AblationResult is one baseline-versus-ablated comparison.

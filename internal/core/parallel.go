@@ -99,11 +99,23 @@ type KernelPoint struct {
 // RunKernelPoints times every point and returns the runs in input order,
 // with the same failure policy as the figure sweeps.
 func (s *Suite) RunKernelPoints(kps []KernelPoint) ([]Run, error) {
+	return s.RunKernelPointsObserved(kps, nil)
+}
+
+// RunKernelPointsObserved is RunKernelPoints with a per-point observation
+// hook: when observe is non-nil, it is called on the worker goroutine
+// just before point i's first launch attempt, and the function it
+// returns is called right after the point resolves (completed or failure
+// record). Points restored from a checkpoint are never observed — they
+// do not execute. The campaign scheduler uses the hook for per-unit
+// spans and unit-level counters without a second accounting path inside
+// the sweep runner.
+func (s *Suite) RunKernelPointsObserved(kps []KernelPoint, observe func(i int) func(Run)) ([]Run, error) {
 	pts := make([]point, len(kps))
 	for i, kp := range kps {
 		pts[i] = point{card: kp.Card, x: kp.X, k: kp.K, w: kp.W, h: kp.H}
 	}
-	return s.runPoints(pts)
+	return s.runPoints(pts, observe)
 }
 
 // runPoints times every point and returns the runs in input order.
@@ -117,7 +129,7 @@ func (s *Suite) RunKernelPoints(kps []KernelPoint) ([]Run, error) {
 // (Run.Err) and the sweep continues; anything else — a lost device, a
 // compile or configuration error — is fatal, cancels the undispatched
 // points and fails the sweep.
-func (s *Suite) runPoints(pts []point) ([]Run, error) {
+func (s *Suite) runPoints(pts []point, observe func(i int) func(Run)) ([]Run, error) {
 	if s.MaxDomain > 0 {
 		for i := range pts {
 			if pts[i].w > s.MaxDomain {
@@ -206,10 +218,17 @@ func (s *Suite) runPoints(pts []point) ([]Run, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				var end func(Run)
+				if observe != nil {
+					end = observe(i)
+				}
 				run, err := s.runPointResilient(ctx, pts[i])
 				if err != nil {
 					fatal(err)
 					continue
+				}
+				if end != nil {
+					end(run)
 				}
 				runs[i] = run
 				if run.Failed() {

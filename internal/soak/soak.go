@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	sched "amdgpubench/internal/campaign"
 	"amdgpubench/internal/conformance"
 	"amdgpubench/internal/core"
 	"amdgpubench/internal/ilc"
@@ -45,7 +46,9 @@ type campaign struct {
 	report  *Report
 	// sweptPoints/sweptFailed mirror what the campaign pushed through
 	// the long-lived suite; the metrics oracle checks the suite's own
-	// counters against them.
+	// counters against them. They count scheduled units — what the sweep
+	// runner actually resolved — not fanned-out points, since soak sweeps
+	// route through the campaign scheduler like everything else.
 	sweptPoints int64
 	sweptFailed int64
 	churned     atomic.Int64
@@ -145,10 +148,12 @@ func (c *campaign) runStep(st step) error {
 	case ScenarioKillResume:
 		runs, err = c.runKillResume(st)
 	default:
-		runs, err = c.suite.RunKernelPoints(st.points)
+		var res *sched.Result
+		res, err = runScheduled(c.suite, st)
 		if err == nil {
-			c.sweptPoints += int64(len(runs))
-			for _, r := range runs {
+			runs = res.Runs[0]
+			c.sweptPoints += int64(len(res.UnitRuns))
+			for _, r := range res.UnitRuns {
 				if r.Failed() {
 					c.sweptFailed++
 				}
@@ -206,15 +211,35 @@ func (c *campaign) startChurn(stepIdx int) (stop func()) {
 	}
 }
 
+// runScheduled drives a step's sweep through the campaign scheduler —
+// the same planning, dedup and fan-out path `amdmb campaign` takes —
+// as a single-spec plan. planStep already clamped the domains, so the
+// plan's own clamp is a no-op; a generated-kernel hash collision within
+// the step dedups here, and the differential oracles then check the
+// fanned-out results against direct reference sweeps.
+func runScheduled(s *core.Suite, st step) (*sched.Result, error) {
+	spec := sched.Spec{
+		Name:   fmt.Sprintf("step%03d", st.Index),
+		Figure: core.FigureSpec{Points: st.points},
+	}
+	plan, err := sched.NewPlan([]sched.Spec{spec}, sched.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return plan.Run(s)
+}
+
 // runKillResume is one crash/resume cycle, in-process: a fresh suite
-// sweeps the step's points against a checkpoint and is Interrupted at
-// the KillAt-th launch; a second fresh suite resumes the checkpoint to
-// completion; the resumed results are the step's results. The
-// checkpoint-identity oracle then compares them bit-for-bit against an
-// uninterrupted reference sweep (runOracles). Fresh suites keep the
-// cycle honest — the resume may not lean on the killed sweep's warm
-// caches — while the campaign suite's launch accounting stays
-// consistent for the metrics oracle.
+// runs the step's points as a campaign against a checkpoint and is
+// Interrupted at the KillAt-th launch; a second fresh suite replans the
+// same campaign and resumes the checkpoint to completion (the
+// scheduler's deterministic unit order is what keeps the two plans'
+// sweep signatures identical); the resumed results are the step's
+// results. The checkpoint-identity oracle then compares them
+// bit-for-bit against an uninterrupted reference sweep (runOracles).
+// Fresh suites keep the cycle honest — the resume may not lean on the
+// killed sweep's warm caches — while the campaign suite's launch
+// accounting stays consistent for the metrics oracle.
 func (c *campaign) runKillResume(st step) ([]core.Run, error) {
 	ck := filepath.Join(c.scratch, fmt.Sprintf("step%03d.ckpt", st.Index))
 	defer os.Remove(ck)
@@ -228,7 +253,7 @@ func (c *campaign) runKillResume(st step) ([]core.Run, error) {
 			victim.Interrupt()
 		}
 	}
-	_, err := victim.RunKernelPoints(st.points)
+	_, err := runScheduled(victim, st)
 	switch {
 	case errors.Is(err, core.ErrSweepInterrupted):
 		c.report.Kills++
@@ -243,5 +268,9 @@ func (c *campaign) runKillResume(st step) ([]core.Run, error) {
 
 	resumed := newSuite(c.cfg)
 	resumed.Checkpoint = ck
-	return resumed.RunKernelPoints(st.points)
+	res, err := runScheduled(resumed, st)
+	if err != nil {
+		return nil, err
+	}
+	return res.Runs[0], nil
 }

@@ -16,7 +16,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Fig2Disassembly|Fig7ALUFetch|Fig7RepeatedSweepCached|Fig7RepeatedSweepUncached}"
+BENCH="${BENCH:-Fig2Disassembly|Fig7ALUFetch|Fig7RepeatedSweepCached|Fig7RepeatedSweepUncached|SequentialBundle|CampaignBundle}"
 BENCHTIME="${BENCHTIME:-2x}"
 COUNT="${COUNT:-1}"
 OUTDIR="${OUTDIR:-.}"
