@@ -11,12 +11,15 @@ import (
 	"math"
 	"testing"
 
+	"amdgpubench/internal/cache"
 	"amdgpubench/internal/campaign"
 	"amdgpubench/internal/core"
 	"amdgpubench/internal/device"
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/pipeline"
+	"amdgpubench/internal/raster"
 	"amdgpubench/internal/report"
 )
 
@@ -113,6 +116,48 @@ func repeatedSweep(b *testing.B, disableCache bool) {
 
 func BenchmarkFig7RepeatedSweepCached(b *testing.B)   { repeatedSweep(b, false) }
 func BenchmarkFig7RepeatedSweepUncached(b *testing.B) { repeatedSweep(b, true) }
+
+// incrementalSweep is the dense-sweep replay workload the prefix-snapshot
+// store exists for: one trace family replayed at every input count from 1
+// to 24 — the shape of Fig. 11's input sweep — through the pipeline's
+// Replay stage. Cold (pipeline disabled) pays the full quadratic stream,
+// replaying 1+2+...+24 = 300 input-units from scratch; Reuse resumes the
+// family's snapshot at every point and replays only the 24 deltas. The
+// figures are bit-identical either way (the cursor identity tests prove
+// it); the ns/op gap is the incremental win, and the prefix-hit-rate
+// metric lands in BENCH_<sha>.json so a snapshot-store regression shows
+// up next to the time it costs.
+func incrementalSweep(b *testing.B, disabled bool) {
+	base := cache.TraceConfig{
+		Spec:          device.Lookup(device.RV770),
+		Order:         raster.PixelOrder(),
+		W:             1024,
+		H:             1024,
+		ElemBytes:     4,
+		ResidentWaves: 16,
+	}
+	const maxInputs = 24
+	var hits, lookups int64
+	for i := 0; i < b.N; i++ {
+		p := pipeline.New(pipeline.Options{Disabled: disabled})
+		for n := 1; n <= maxInputs; n++ {
+			tc := base
+			tc.NumInputs = n
+			if _, err := p.Replay(tc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		snap := p.Metrics().Snapshot()
+		hits += snap.Get("pipeline.replay-prefix.hits")
+		lookups += snap.Get("pipeline.replay-prefix.hits") + snap.Get("pipeline.replay-prefix.misses")
+	}
+	if lookups > 0 {
+		b.ReportMetric(float64(hits)/float64(lookups), "prefix-hit-rate")
+	}
+}
+
+func BenchmarkIncrementalSweepCold(b *testing.B)  { incrementalSweep(b, true) }
+func BenchmarkIncrementalSweepReuse(b *testing.B) { incrementalSweep(b, false) }
 
 func BenchmarkFig8ALUFetchBlock4x16(b *testing.B) {
 	s := newSuite()

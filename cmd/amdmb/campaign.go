@@ -4,9 +4,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"amdgpubench/internal/campaign"
+	"amdgpubench/internal/core"
 )
 
 // The campaign subcommand: plan several figures as one deduplicated DAG
@@ -16,6 +19,18 @@ import (
 //
 //	amdmb campaign -figs fig7,fig8,fig11,fig16 -csv
 //	amdmb campaign -figs fig16,clausectl -plan     # schedule + dedup stats, run nothing
+//
+// A campaign partitions across processes with -shard i/n: each shard
+// runs the units whose scheduled index is congruent to i mod n, records
+// them in its own checkpoint file (<checkpoint>.shard<i>of<n>, derived
+// from the required -checkpoint flag) under the FULL campaign's
+// signature, and emits no figures. The follow-up unsharded run with the
+// same -checkpoint merges every shard file it finds and restores the
+// union, emitting figures byte-identical to a run that never sharded:
+//
+//	amdmb campaign -figs fig7,fig8 -checkpoint ck.json -shard 0/2 &
+//	amdmb campaign -figs fig7,fig8 -checkpoint ck.json -shard 1/2 &
+//	wait; amdmb campaign -figs fig7,fig8 -checkpoint ck.json -csv
 //
 // Figures print to stdout in -figs order with exactly the rendering the
 // per-figure experiments use; the campaign summary line goes to stderr,
@@ -31,15 +46,28 @@ func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("amdmb campaign", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		figs     string
-		planOnly bool
-		workers  int
+		figs      string
+		planOnly  bool
+		workers   int
+		shardSpec string
 	)
 	fs.StringVar(&figs, "figs", "", "comma-separated figures to schedule together (required)")
 	fs.BoolVar(&planOnly, "plan", false, "print the deduped schedule and dedup statistics, run nothing")
 	fs.IntVar(&workers, "workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
+	fs.StringVar(&shardSpec, "shard", "", "run shard i of n (format i/n, requires -checkpoint); shards merge into the unsharded run")
 	c.commonFlags(fs)
 	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	shard, shards := 0, 1
+	if shardSpec != "" {
+		if n, err := fmt.Sscanf(shardSpec, "%d/%d", &shard, &shards); n != 2 || err != nil || shards < 1 || shard < 0 || shard >= shards {
+			fmt.Fprintf(stderr, "amdmb campaign: bad -shard %q, want i/n with 0 <= i < n\n", shardSpec)
+			return 2
+		}
+	}
+	if shards > 1 && c.checkpoint == "" {
+		fmt.Fprintln(stderr, "amdmb campaign: -shard requires -checkpoint (shards combine through checkpoint files)")
 		return 2
 	}
 	if len(fs.Args()) != 0 {
@@ -69,6 +97,24 @@ func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// A shard writes to its own checkpoint file; the unsharded run first
+	// merges any shard files present so their work restores instead of
+	// recomputing.
+	if shards > 1 {
+		c.checkpoint = fmt.Sprintf("%s.shard%dof%d", c.checkpoint, shard, shards)
+	} else if c.checkpoint != "" {
+		if files, _ := filepath.Glob(c.checkpoint + ".shard*of*"); len(files) > 0 {
+			sort.Strings(files)
+			n, err := core.MergeCheckpoints(c.checkpoint, files...)
+			if err != nil {
+				fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "campaign: merged %d runs from %d shard checkpoints into %s\n",
+				n, len(files), c.checkpoint)
+		}
+	}
+
 	s, err := c.newSuite()
 	if err != nil {
 		fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
@@ -91,6 +137,18 @@ func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
 	if planOnly {
 		campaign.RenderPlan(stdout, plan)
 		return 0
+	}
+
+	if shards > 1 {
+		res, err := plan.RunShard(s, shard, shards)
+		if err != nil {
+			fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "campaign shard %d/%d: units=%d scheduled=%d executed=%d restored=%d failed=%d\n",
+			shard, shards, len(plan.Units), res.Scheduled, res.Executed,
+			res.Scheduled-res.Executed, res.Failed())
+		return c.epilogue(s)
 	}
 
 	res, err := plan.Run(s)

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCampaignShardsMergeToGoldens is the sharding acceptance test: the
+// golden bundle split across two shard processes, each writing its own
+// checkpoint under the full campaign's signature, then an unsharded run
+// that merges the shard files and restores everything — emitting stdout
+// byte-identical to the concatenated golden CSVs while executing zero
+// units itself.
+func TestCampaignShardsMergeToGoldens(t *testing.T) {
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	figs := strings.Join(goldenFigures, ",")
+
+	for shard := 0; shard < 2; shard++ {
+		spec := fmt.Sprintf("%d/2", shard)
+		code, out, stderr := runCLI(t,
+			"campaign", "-figs", figs, "-iters", "1", "-checkpoint", ck, "-shard", spec)
+		if code != 0 {
+			t.Fatalf("shard %s: exit %d, stderr: %s", spec, code, stderr)
+		}
+		if out != "" {
+			t.Errorf("shard %s emitted figures; shards must only checkpoint:\n%s", spec, out)
+		}
+		if !strings.Contains(stderr, "campaign shard "+spec+":") {
+			t.Errorf("shard %s summary missing: %s", spec, stderr)
+		}
+		if !strings.Contains(stderr, "failed=0") {
+			t.Errorf("shard %s recorded failures: %s", spec, stderr)
+		}
+		if _, err := os.Stat(fmt.Sprintf("%s.shard%dof2", ck, shard)); err != nil {
+			t.Fatalf("shard %s wrote no checkpoint: %v", spec, err)
+		}
+	}
+
+	code, out, stderr := runCLI(t,
+		"campaign", "-figs", figs, "-iters", "1", "-csv", "-checkpoint", ck)
+	if code != 0 {
+		t.Fatalf("merge run: exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "shard checkpoints into") {
+		t.Errorf("merge run did not report merging: %s", stderr)
+	}
+	// Everything restores from the merged shards; nothing re-executes.
+	if !strings.Contains(stderr, "executed=0") {
+		t.Errorf("merge run re-executed units: %s", stderr)
+	}
+
+	var want strings.Builder
+	for _, fig := range goldenFigures {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", fig+".csv"))
+		if err != nil {
+			t.Fatalf("%v (run `go test ./cmd/amdmb -run TestGoldenFigureCSVs -update-goldens` to pin)", err)
+		}
+		want.Write(data)
+	}
+	if out != want.String() {
+		t.Errorf("sharded+merged campaign stdout diverges from goldens:\n%s", firstDiff(want.String(), out))
+	}
+}
+
+// TestCampaignShardUsage pins the sharding flag's usage-error surface.
+func TestCampaignShardUsage(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no checkpoint", []string{"campaign", "-figs", "fig16", "-shard", "0/2"}, "requires -checkpoint"},
+		{"bad format", []string{"campaign", "-figs", "fig16", "-checkpoint", "x", "-shard", "2"}, "bad -shard"},
+		{"out of range", []string{"campaign", "-figs", "fig16", "-checkpoint", "x", "-shard", "2/2"}, "bad -shard"},
+		{"negative", []string{"campaign", "-figs", "fig16", "-checkpoint", "x", "-shard", "-1/2"}, "bad -shard"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2; stderr: %s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q: %s", tc.want, stderr)
+			}
+		})
+	}
+}

@@ -146,6 +146,17 @@ func (c *Cache) Reset() {
 	c.hits, c.misses = 0, 0
 }
 
+// Clone returns an independent copy of the cache: same geometry, same
+// resident lines, same counters. Replay cursors snapshot their cache
+// state through it — advancing the clone leaves the original untouched,
+// which is what lets one stored snapshot serve many sweep points.
+func (c *Cache) Clone() *Cache {
+	dup := *c
+	dup.tags = make([]uint64, len(c.tags))
+	copy(dup.tags, c.tags)
+	return &dup
+}
+
 // LineBytes returns the configured line size.
 func (c *Cache) LineBytes() int { return c.lineBytes }
 

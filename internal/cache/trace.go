@@ -103,120 +103,16 @@ func (s TraceStats) DRAMBytesPerFetch() float64 {
 // interleaving mirrors clause switching: each wavefront issues one TEX
 // clause (up to MaxFetchesPerTEXClause fetches), then the SIMD switches to
 // the next resident wavefront, round-robin, until all inputs are fetched.
+// It is a one-shot Cursor run from a cold cache straight to NumInputs;
+// sweeps that revisit the same stream at growing input counts resume a
+// snapshotted Cursor instead (the pipeline's prefix-snapshot store).
 func Replay(cfg TraceConfig) (TraceStats, error) {
-	c, err := New(cfg.Spec.L1CacheBytes, cfg.Spec.L1LineBytes, cfg.Spec.L1Ways)
+	cur, err := NewCursor(cfg)
 	if err != nil {
 		return TraceStats{}, err
 	}
-	// The shared L2 uses the same line size as the L1 it refills.
-	l2, err := New(cfg.Spec.L2CacheBytes, cfg.Spec.L1LineBytes, cfg.Spec.L2Ways)
-	if err != nil {
+	if err := cur.Advance(cfg.NumInputs); err != nil {
 		return TraceStats{}, err
 	}
-	var st TraceStats
-
-	// Each input is a separate surface; bases are spaced far apart so
-	// surfaces never alias by accident. Every surface shares one geometry
-	// and differs only in its base address.
-	const stride = uint64(1) << 32
-
-	waves := make([]int, cfg.ResidentWaves)
-	total := cfg.Order.WavefrontCount(cfg.W, cfg.H)
-	for i := range waves {
-		waves[i] = (cfg.FirstWave + i) % max(total, 1)
-	}
-
-	// Precompute each resident wavefront's 64 lane offsets once per
-	// (order, layout): the raster walk and the tiled/linear address
-	// arithmetic are identical for every input surface, so the replay's
-	// inner loop reduces to base + offset. A negative offset marks a
-	// padding thread outside the domain, which fetches nothing.
-	geom := raster.Layout{W: cfg.W, H: cfg.H, ElemBytes: cfg.ElemBytes}
-	offs := make([]int64, len(waves)*raster.WavefrontSize)
-	for wi, wv := range waves {
-		for lane := 0; lane < raster.WavefrontSize; lane++ {
-			off := int64(-1)
-			x, y := cfg.Order.Thread(cfg.W, cfg.H, wv, lane)
-			if x < cfg.W && y < cfg.H {
-				if cfg.LinearLayout {
-					off = int64(geom.LinearAddress(x, y))
-				} else {
-					off = int64(geom.Address(x, y))
-				}
-			}
-			offs[wi*raster.WavefrontSize+lane] = off
-		}
-	}
-
-	// Open-row tracker: a tiny fully-associative LRU over DRAM pages.
-	rows, err := New(DRAMRowBytes*openRows, DRAMRowBytes, openRows)
-	if err != nil {
-		return TraceStats{}, err
-	}
-
-	// An element fetch touches exactly one line when the L1 geometry is a
-	// power of two and every element offset is element-aligned with the
-	// element size dividing the line size — true for all the suite's
-	// float/float4 surfaces. Proving it once here lets the inner loop call
-	// the line-granular probe directly instead of the general
-	// AccessRange span walk.
-	singleLine := c.pow2 && cfg.ElemBytes > 0 &&
-		c.lineBytes%cfg.ElemBytes == 0 && cfg.ElemBytes <= c.lineBytes
-	if singleLine {
-		for _, off := range offs {
-			if off >= 0 && off%int64(cfg.ElemBytes) != 0 {
-				singleLine = false
-				break
-			}
-		}
-	}
-
-	// Interleave resource-major within each TEX clause group: clause
-	// switching keeps the resident wavefronts in near-lockstep, so fetch k
-	// of every concurrent wavefront lands close together in time.
-	group := cfg.Spec.MaxFetchesPerTEXClause
-	for first := 0; first < cfg.NumInputs; first += group {
-		last := min(first+group, cfg.NumInputs)
-		for res := first; res < last; res++ {
-			base := uint64(res) * stride
-			for wi := range waves {
-				st.FetchExecs++
-				lanes := offs[wi*raster.WavefrontSize : (wi+1)*raster.WavefrontSize]
-				for _, off := range lanes {
-					if off < 0 {
-						continue // padding threads fetch nothing
-					}
-					addr := base + uint64(off)
-					var h, m int
-					if singleLine {
-						if c.accessLine(addr >> c.lineShift) {
-							h = 1
-						} else {
-							m = 1
-						}
-					} else {
-						h, m = c.AccessRange(addr, cfg.ElemBytes)
-					}
-					st.Hits += h
-					st.Misses += m
-					st.Accesses += h + m
-					if m > 0 {
-						// L1 misses refill through the L2; only L2
-						// misses reach DRAM and can open rows.
-						if l2.Access(addr) {
-							st.L2Hits += m
-						} else {
-							st.L2Misses += m
-							if !rows.Access(addr) {
-								st.RowActivations++
-							}
-						}
-					}
-				}
-			}
-		}
-	}
-	st.MissBytes = st.Misses * cfg.Spec.L1LineBytes
-	st.DRAMBytes = st.L2Misses * cfg.Spec.L1LineBytes
-	return st, nil
+	return cur.Stats(), nil
 }

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"strconv"
 	"sync/atomic"
 
@@ -33,9 +34,15 @@ type Result struct {
 	// and X are the representative subscriber's.
 	UnitRuns []core.Run
 	Stats    Stats
-	// Executed counts units that ran this invocation; Units minus
+	// Executed counts units that ran this invocation; Scheduled minus
 	// Executed were restored from the campaign checkpoint.
 	Executed int
+	// Scheduled counts the units this invocation was responsible for:
+	// every unit when unsharded, the shard's interleaved slice otherwise.
+	Scheduled int
+	// Shard/Shards record the partition this result covers; 0/1 means
+	// the whole campaign.
+	Shard, Shards int
 }
 
 // Failed counts units that resolved to failure records.
@@ -65,6 +72,27 @@ func (r *Result) Failed() int {
 // returned error is the sweep's own (fatal pipeline errors, or
 // core.ErrSweepInterrupted verbatim so callers can errors.Is on it).
 func (p *Plan) Run(s *core.Suite) (*Result, error) {
+	return p.runShard(s, 0, 1)
+}
+
+// RunShard executes one shard of the plan: of the scheduled unit
+// sequence, only units with index i%shards == shard run. The shard's
+// checkpoint (the suite's, when armed) records its runs at their GLOBAL
+// unit indices under the full campaign's signature, so shard files
+// merge (core.MergeCheckpoints) into a checkpoint the unsharded run
+// restores completely — producing figures byte-identical to a run that
+// never sharded. Because one shard holds only a slice of every figure's
+// points, RunShard assembles no figures: Result.Figures and Result.Runs
+// stay nil, and the caller combines shards through the checkpoint, not
+// by stitching partial figures.
+func (p *Plan) RunShard(s *core.Suite, shard, shards int) (*Result, error) {
+	if shards < 1 || shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("campaign: shard %d/%d out of range", shard, shards)
+	}
+	return p.runShard(s, shard, shards)
+}
+
+func (p *Plan) runShard(s *core.Suite, shard, shards int) (*Result, error) {
 	m := s.Metrics()
 	m.Counter("campaign.figures.planned").Add(int64(p.Stats.Figures))
 	m.Counter("campaign.points.planned").Add(int64(p.Stats.Points))
@@ -80,11 +108,22 @@ func (p *Plan) Run(s *core.Suite) (*Result, error) {
 		Arg("points", strconv.Itoa(p.Stats.Points)).
 		Arg("units", strconv.Itoa(len(p.Units))).
 		Arg("deduped", strconv.Itoa(p.Stats.DedupedTotal()))
+	if shards > 1 {
+		root.Arg("shard", fmt.Sprintf("%d/%d", shard, shards))
+	}
 	defer root.End()
 
+	// Every shard builds the FULL unit list: the sweep signature — hence
+	// the checkpoint identity — must cover the whole campaign.
 	kps := make([]core.KernelPoint, len(p.Units))
 	for i, u := range p.Units {
 		kps[i] = u.Point
+	}
+	scheduled := 0
+	for i := range kps {
+		if shards <= 1 || i%shards == shard {
+			scheduled++
+		}
 	}
 
 	// The observe hook runs on worker goroutines: counters are atomic and
@@ -110,15 +149,23 @@ func (p *Plan) Run(s *core.Suite) (*Result, error) {
 		}
 	}
 
-	unitRuns, err := s.RunKernelPointsObserved(kps, observe)
+	unitRuns, err := s.RunKernelPointsSharded(kps, observe, shard, shards)
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{
-		UnitRuns: unitRuns,
-		Stats:    p.Stats,
-		Executed: int(executed.Load()),
+		UnitRuns:  unitRuns,
+		Stats:     p.Stats,
+		Executed:  int(executed.Load()),
+		Scheduled: scheduled,
+		Shard:     shard,
+		Shards:    shards,
+	}
+	if shards > 1 {
+		// A shard holds only a slice of every figure; figures assemble
+		// from the merged checkpoint in the follow-up unsharded run.
+		return res, nil
 	}
 	for si := range p.Specs {
 		spec := p.Specs[si].Figure

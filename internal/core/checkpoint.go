@@ -129,6 +129,73 @@ func (c *checkpoint) put(i int, r Run) error {
 	return nil
 }
 
+// MergeCheckpoints unions the completed runs of every src checkpoint —
+// the per-shard files a sharded campaign writes — into dst, which an
+// unsharded run of the same campaign then resumes from. Every source
+// must parse and carry the same signature (each shard fingerprints the
+// FULL point list, so a mismatch means the files belong to different
+// campaigns — that is an error, not something to paper over). An
+// existing dst with the matching signature contributes its runs too; a
+// dst from some other campaign is ignored and overwritten. Failure
+// records are dropped, matching restore semantics: a merged resume gets
+// a fresh chance at failed points. Returns the number of distinct
+// completed runs written. The write is crash-atomic.
+func MergeCheckpoints(dst string, srcs ...string) (int, error) {
+	if len(srcs) == 0 {
+		return 0, fmt.Errorf("core: merge: no source checkpoints")
+	}
+	merged := checkpointFile{Runs: map[string]Run{}}
+	absorb := func(path string, required bool) error {
+		data, err := os.ReadFile(path)
+		if errors.Is(err, os.ErrNotExist) && !required {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("core: merge: %w", err)
+		}
+		var f checkpointFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			if !required {
+				return nil // a stale or torn dst just gets overwritten
+			}
+			return fmt.Errorf("core: merge: %s: %w", path, err)
+		}
+		if merged.Signature == "" {
+			merged.Signature = f.Signature
+		}
+		if f.Signature != merged.Signature {
+			if !required {
+				return nil
+			}
+			return fmt.Errorf("core: merge: %s has signature %s, want %s (different campaign)",
+				path, f.Signature, merged.Signature)
+		}
+		for key, r := range f.Runs {
+			if r.Failed() {
+				continue
+			}
+			merged.Runs[key] = r
+		}
+		return nil
+	}
+	for _, src := range srcs {
+		if err := absorb(src, true); err != nil {
+			return 0, err
+		}
+	}
+	if err := absorb(dst, false); err != nil {
+		return 0, err
+	}
+	data, err := json.MarshalIndent(&merged, "", " ")
+	if err != nil {
+		return 0, fmt.Errorf("core: merge: %w", err)
+	}
+	if err := WriteFileAtomic(dst, data); err != nil {
+		return 0, fmt.Errorf("core: merge: %w", err)
+	}
+	return len(merged.Runs), nil
+}
+
 // WriteFileAtomic writes data to path crash-atomically with the same
 // temp+fsync+rename discipline the sweep checkpoint uses: a SIGKILL (or
 // machine crash, thanks to the fsync) at any instant leaves either the

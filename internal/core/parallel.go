@@ -111,11 +111,27 @@ func (s *Suite) RunKernelPoints(kps []KernelPoint) ([]Run, error) {
 // spans and unit-level counters without a second accounting path inside
 // the sweep runner.
 func (s *Suite) RunKernelPointsObserved(kps []KernelPoint, observe func(i int) func(Run)) ([]Run, error) {
+	return s.RunKernelPointsSharded(kps, observe, 0, 1)
+}
+
+// RunKernelPointsSharded is RunKernelPointsObserved restricted to one
+// shard of a deterministic interleaved partition: of the shared point
+// list, only points with index i%shards == shard execute. The returned
+// slice still has one entry per input point — non-shard entries are
+// zero Runs — and the checkpoint signature is computed over the FULL
+// point list, so every shard of a campaign binds to the same sweep
+// identity: shard checkpoint files record runs at their global indices
+// and merge cleanly (MergeCheckpoints) into a checkpoint an unsharded
+// run resumes from. shards <= 1 runs everything.
+func (s *Suite) RunKernelPointsSharded(kps []KernelPoint, observe func(i int) func(Run), shard, shards int) ([]Run, error) {
+	if shards > 1 && (shard < 0 || shard >= shards) {
+		return nil, fmt.Errorf("core: shard %d out of range 0..%d", shard, shards-1)
+	}
 	pts := make([]point, len(kps))
 	for i, kp := range kps {
 		pts[i] = point{card: kp.Card, x: kp.X, k: kp.K, w: kp.W, h: kp.H}
 	}
-	return s.runPoints(pts, observe)
+	return s.runPointsSharded(pts, observe, shard, shards)
 }
 
 // runPoints times every point and returns the runs in input order.
@@ -130,6 +146,16 @@ func (s *Suite) RunKernelPointsObserved(kps []KernelPoint, observe func(i int) f
 // compile or configuration error — is fatal, cancels the undispatched
 // points and fails the sweep.
 func (s *Suite) runPoints(pts []point, observe func(i int) func(Run)) ([]Run, error) {
+	return s.runPointsSharded(pts, observe, 0, 1)
+}
+
+// runPointsSharded is runPoints over one shard of an interleaved
+// partition (shards <= 1 means the whole sweep). The domain clamp and
+// the checkpoint signature cover every point — identical across shards
+// — while dispatch, checkpoint restore and progress accounting cover
+// only the shard's own indices.
+func (s *Suite) runPointsSharded(pts []point, observe func(i int) func(Run), shard, shards int) ([]Run, error) {
+	mine := func(i int) bool { return shards <= 1 || i%shards == shard }
 	if s.MaxDomain > 0 {
 		for i := range pts {
 			if pts[i].w > s.MaxDomain {
@@ -157,16 +183,23 @@ func (s *Suite) runPoints(pts []point, observe func(i int) func(Run)) ([]Run, er
 			return nil, err
 		}
 		for i := range pts {
-			if r, ok := ck.get(i); ok {
+			if r, ok := ck.get(i); ok && mine(i) {
 				runs[i] = r
 				done[i] = true
 			}
 		}
 	}
 
+	scheduled := 0
+	for i := range pts {
+		if mine(i) {
+			scheduled++
+		}
+	}
+
 	var prog *obs.Progress
 	if s.Progress != nil {
-		prog = obs.NewProgress(s.Progress, "sweep", len(pts))
+		prog = obs.NewProgress(s.Progress, "sweep", scheduled)
 		defer prog.Finish()
 	}
 	restored := 0
@@ -208,8 +241,8 @@ func (s *Suite) runPoints(pts []point, observe func(i int) func(Run)) ([]Run, er
 	// A fixed worker set fed from a channel: a 10k-point sweep runs on
 	// s.workers() goroutines, not 10k.
 	workers := s.workers()
-	if workers > len(pts) {
-		workers = len(pts)
+	if workers > scheduled {
+		workers = scheduled
 	}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -249,7 +282,7 @@ func (s *Suite) runPoints(pts []point, observe func(i int) func(Run)) ([]Run, er
 	}
 feed:
 	for i := range pts {
-		if done[i] {
+		if done[i] || !mine(i) {
 			continue
 		}
 		select {

@@ -63,6 +63,12 @@ type Options struct {
 	CompileEntries  int
 	ReplayEntries   int
 	SimulateEntries int
+	// ReplaySnapshotEntries bounds the replay prefix-snapshot store: the
+	// deepest resumable replay cursor per trace-prefix family, cloned to
+	// seed later points of a dense input sweep. Each entry holds three
+	// cloned cache models (the L2's tag array dominates, ~64KB on RV770),
+	// so the default of 64 caps snapshot state at a few MB.
+	ReplaySnapshotEntries int
 	// Metrics is the registry the per-stage counters, gauges and latency
 	// histograms register into; nil gets the pipeline its own registry,
 	// so counters (and Stats) always work.
@@ -70,10 +76,11 @@ type Options struct {
 }
 
 const (
-	defaultGenerateEntries = 4096
-	defaultCompileEntries  = 4096
-	defaultReplayEntries   = 1024
-	defaultSimulateEntries = 8192
+	defaultGenerateEntries       = 4096
+	defaultCompileEntries        = 4096
+	defaultReplayEntries         = 1024
+	defaultSimulateEntries       = 8192
+	defaultReplaySnapshotEntries = 64
 )
 
 // Pipeline stages launches and memoizes their artifacts. It is safe for
@@ -86,6 +93,11 @@ type Pipeline struct {
 	compile  *store[compileKey, *isa.Program]
 	replay   *store[replayKey, cache.TraceStats]
 	simulate *store[simulateKey, sim.Result]
+
+	// snapshots resumes replays incrementally: per trace-prefix family it
+	// keeps the deepest replay cursor, so adjacent points of an
+	// input-count sweep replay only their delta (see snapshot.go).
+	snapshots *snapshotStore
 
 	// progHash content-addresses compiled programs by identity: Compile
 	// stores each artifact's key hash under its pointer so Simulate can
@@ -116,6 +128,9 @@ func New(opts Options) *Pipeline {
 	if opts.SimulateEntries <= 0 {
 		opts.SimulateEntries = defaultSimulateEntries
 	}
+	if opts.ReplaySnapshotEntries <= 0 {
+		opts.ReplaySnapshotEntries = defaultReplaySnapshotEntries
+	}
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -133,6 +148,7 @@ func New(opts Options) *Pipeline {
 		p.progHash.Delete(prog)
 	})
 	p.replay = newStore[replayKey, cache.TraceStats]("replay", reg, opts.ReplayEntries, opts.Disabled, nil)
+	p.snapshots = newSnapshotStore(reg, opts.ReplaySnapshotEntries)
 	p.simulate = newStore[simulateKey, sim.Result]("simulate", reg, opts.SimulateEntries, opts.Disabled, nil)
 	return p
 }
@@ -346,10 +362,14 @@ func replayKeyFor(tc cache.TraceConfig) replayKey {
 // Replay runs the trace through the cache model, memoized on the fetch
 // signature, raster order, domain and cache geometry. Kernels that share
 // a fetch trace — the whole ALU:Fetch ratio sweep of Fig. 7, say, where
-// only the ALU op count varies — share one replay artifact.
+// only the ALU op count varies — share one replay artifact. Misses
+// compute incrementally: a dense input-count sweep resumes the family's
+// prefix snapshot and replays only the delta (see snapshot.go), which is
+// bit-identical to a cold replay because the N-input stream is a strict
+// prefix of the N+1-input stream.
 func (p *Pipeline) Replay(tc cache.TraceConfig) (cache.TraceStats, error) {
 	return p.replay.get(replayKeyFor(tc), func() (cache.TraceStats, error) {
-		return cache.Replay(tc)
+		return p.replayIncremental(tc)
 	})
 }
 
@@ -459,6 +479,7 @@ func (p *Pipeline) Stats() Stats {
 				ComputeTime: time.Duration(p.traceNS.Load()),
 			},
 			p.replay.stats("replay"),
+			p.snapshots.stats(),
 			simStats,
 		},
 	}

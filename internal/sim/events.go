@@ -1,0 +1,85 @@
+package sim
+
+import "sync"
+
+// event is a wavefront becoming ready to issue its next clause.
+type event struct {
+	at     uint64
+	wave   int
+	clause int
+}
+
+// before orders events by (at, wave). Each wavefront has exactly one
+// event in flight, so keys are unique and the order is total.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	return e.wave < o.wave
+}
+
+// readyList is the batch loop's pending-event queue: a time-sorted
+// slice drained from the front. It replaces a binary min-heap by
+// exploiting the loop's monotonicity — simulated time only moves
+// forward, so every pushed event is at or after the event being
+// processed. In the common case the resident wavefronts progress in
+// near-lockstep and a completed clause re-queues at or past the latest
+// pending event: one bounds check and an append, no sift. Out-of-order
+// completions (a cheap clause finishing under a slow one) scan backward
+// from the tail, and the scan distance is bounded by the wavefront
+// count, not the queue length. Pop order is identical to the heap's:
+// ascending (at, wave).
+type readyList struct {
+	ev   []event
+	head int // index of the next event to pop
+}
+
+func (r *readyList) len() int { return len(r.ev) - r.head }
+
+// push inserts e keeping r.ev[head:] sorted ascending by (at, wave).
+func (r *readyList) push(e event) {
+	ev := r.ev
+	n := len(ev)
+	if n == r.head || !e.before(ev[n-1]) {
+		// Latest pending event: append. When the backing array is full,
+		// reclaim the already-popped prefix before growing it.
+		if n == cap(ev) && r.head > 0 {
+			m := copy(ev[:cap(ev)], ev[r.head:])
+			ev = ev[:m]
+			r.head = 0
+		}
+		r.ev = append(ev, e)
+		return
+	}
+	i := n
+	for i > r.head && e.before(ev[i-1]) {
+		i--
+	}
+	ev = append(ev, event{})
+	copy(ev[i+1:], ev[i:n])
+	ev[i] = e
+	r.ev = ev
+}
+
+// pop removes and returns the earliest pending event. The caller must
+// ensure len() > 0.
+func (r *readyList) pop() event {
+	e := r.ev[r.head]
+	r.head++
+	if r.head == len(r.ev) {
+		r.ev = r.ev[:0]
+		r.head = 0
+	}
+	return e
+}
+
+// reset empties the list, keeping the backing array.
+func (r *readyList) reset() {
+	r.ev = r.ev[:0]
+	r.head = 0
+}
+
+// readyPool recycles ready-list backing arrays across batches.
+var readyPool = sync.Pool{
+	New: func() any { return &readyList{ev: make([]event, 0, 64)} },
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// eventHeap is the binary min-heap the ready list replaced, kept as the
+// differential-test reference: pop order must match it exactly, because
+// the batch loop's results are only bit-identical if the drain order is.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool { return h[i].before(h[j]) }
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		kid := 2*i + 1
+		if kid >= n {
+			break
+		}
+		if r := kid + 1; r < n && s.less(r, kid) {
+			kid = r
+		}
+		if !s.less(kid, i) {
+			break
+		}
+		s[i], s[kid] = s[kid], s[i]
+		i = kid
+	}
+	*h = s
+	return top
+}
+
+// TestReadyListMatchesHeap drives the ready list and the reference heap
+// through identical random workloads that respect the batch loop's one
+// invariant — a pushed event is never earlier than the event just
+// popped — and demands identical pop order. Wave indices stay unique
+// among pending events, mirroring one-event-per-wavefront.
+func TestReadyListMatchesHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		waves := 1 + rng.Intn(24)
+		var rl readyList
+		var h eventHeap
+		for w := 0; w < waves; w++ {
+			e := event{at: 0, wave: w, clause: 0}
+			rl.push(e)
+			h.push(e)
+		}
+		steps := rng.Intn(64)
+		for rl.len() > 0 {
+			got, want := rl.pop(), h.pop()
+			if got != want {
+				t.Fatalf("trial %d: ready list popped %+v, heap popped %+v", trial, got, want)
+			}
+			if got.clause < steps {
+				// Re-queue the wavefront at or after the current time,
+				// with occasional long stalls to force tail scans past
+				// clustered completion times.
+				delta := uint64(rng.Intn(8))
+				if rng.Intn(10) == 0 {
+					delta += uint64(rng.Intn(1000))
+				}
+				next := event{at: got.at + delta, wave: got.wave, clause: got.clause + 1}
+				rl.push(next)
+				h.push(next)
+			}
+		}
+		if len(h) != 0 {
+			t.Fatalf("trial %d: ready list drained but heap holds %d events", trial, len(h))
+		}
+	}
+}
+
+// TestReadyListReclaimsPoppedPrefix pins the bounded-memory property:
+// draining and refilling in steady state must recycle the popped prefix
+// of the backing array instead of growing it without bound.
+func TestReadyListReclaimsPoppedPrefix(t *testing.T) {
+	rl := readyList{ev: make([]event, 0, 8)}
+	for w := 0; w < 4; w++ {
+		rl.push(event{at: 0, wave: w})
+	}
+	at := uint64(0)
+	for i := 0; i < 10000; i++ {
+		e := rl.pop()
+		at = e.at
+		rl.push(event{at: at + 3, wave: e.wave})
+	}
+	if c := cap(rl.ev); c > 64 {
+		t.Errorf("steady-state churn grew the backing array to cap %d, want bounded", c)
+	}
+}
+
+// BenchmarkSimulateBatch times the event loop in isolation: one
+// steady-state batch of 16 wavefronts over a mixed ALU/TEX/EXP clause
+// schedule, the shape every figure point pays per simulate-store miss.
+func BenchmarkSimulateBatch(b *testing.B) {
+	steps := []step{
+		{aluOcc: 8},
+		{texOcc: 12, l2Occ: 4, memOcc: 2, latency: 180, isFill: true},
+		{aluOcc: 16},
+		{texOcc: 12, l2Occ: 4, memOcc: 2, latency: 180, isFill: true},
+		{aluOcc: 4},
+		{expOcc: 8, memOcc: 4},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := simulateBatch(steps, 16, DefaultWatchdogBudget, -1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -430,72 +430,6 @@ func writeCycles(dram *mem.DRAM, bytes int, noBurst bool) uint64 {
 	return dram.BurstWriteCycles(bytes)
 }
 
-// event is a wavefront becoming ready to issue its next clause.
-type event struct {
-	at     uint64
-	wave   int
-	clause int
-}
-
-// eventHeap is a concrete binary min-heap of events ordered by
-// (at, wave). It replaces container/heap: push and pop move events
-// through the backing slice directly, with no `any` boxing and no
-// interface dispatch on the hot event loop. Each wavefront has exactly
-// one event in flight, so (at, wave) keys are unique and the pop order
-// is deterministic.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].wave < h[j].wave
-}
-
-func (h *eventHeap) push(e event) {
-	s := append(*h, e)
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-	*h = s
-}
-
-func (h *eventHeap) pop() event {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s = s[:n]
-	i := 0
-	for {
-		kid := 2*i + 1
-		if kid >= n {
-			break
-		}
-		if r := kid + 1; r < n && s.less(r, kid) {
-			kid = r
-		}
-		if !s.less(kid, i) {
-			break
-		}
-		s[i], s[kid] = s[kid], s[i]
-		i = kid
-	}
-	*h = s
-	return top
-}
-
-// heapPool recycles event-heap backing arrays across batches.
-var heapPool = sync.Pool{
-	New: func() any { h := make(eventHeap, 0, 64); return &h },
-}
-
 // simulateBatch runs `waves` wavefronts through the clause steps on one
 // SIMD engine's pipes and returns the makespan and busy counters. The
 // budget is the forward-progress watchdog: the event-driven loop only
@@ -505,6 +439,12 @@ var heapPool = sync.Pool{
 // >= 0 injects a clause that never completes (its issuing wavefront's
 // next event lands beyond the budget), which is exactly the failure the
 // watchdog exists to catch.
+//
+// Pending events live in a time-sorted ready list (events.go) rather
+// than a heap: every re-queued event is at or after the event being
+// processed, so the steady state is an O(1) append at the tail, and pop
+// order — ascending (at, wave) — is identical to the heap it replaced,
+// keeping results bit-identical.
 func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Counters, *WatchdogError) {
 	alu := mem.NewPipe("alu")
 	tex := mem.NewPipe("tex")
@@ -513,16 +453,13 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 	exp := mem.NewPipe("export")
 	var fillBusy, globalBusy uint64
 
-	hp := heapPool.Get().(*eventHeap)
-	h := (*hp)[:0]
-	defer func() {
-		*hp = h
-		heapPool.Put(hp)
-	}()
+	rl := readyPool.Get().(*readyList)
+	rl.reset()
+	defer readyPool.Put(rl)
 	// Appending events in (at=0, wave ascending) order already satisfies
-	// the heap invariant; no separate init pass is needed.
+	// the sort invariant; no separate init pass is needed.
 	for w := 0; w < waves; w++ {
-		h = append(h, event{at: 0, wave: w, clause: 0})
+		rl.ev = append(rl.ev, event{at: 0, wave: w, clause: 0})
 	}
 
 	counters := func() Counters {
@@ -539,8 +476,8 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 	numSteps := len(steps)
 	var makespan uint64
 	retired := 0
-	for len(h) > 0 {
-		e := h.pop()
+	for rl.len() > 0 {
+		e := rl.pop()
 		if e.at > budget {
 			return 0, Counters{}, &WatchdogError{
 				Wave:     e.wave,
@@ -549,7 +486,7 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 				At:       e.at,
 				Budget:   budget,
 				Retired:  retired,
-				Waiting:  len(h) + 1,
+				Waiting:  rl.len() + 1,
 				Counters: counters(),
 			}
 		}
@@ -562,7 +499,7 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 		if e.clause == hang {
 			// The clause issues but never retires: re-surface the same
 			// clause past the budget so the watchdog sees the stall.
-			h.push(event{at: budget + 1, wave: e.wave, clause: e.clause})
+			rl.push(event{at: budget + 1, wave: e.wave, clause: e.clause})
 			continue
 		}
 		s := &steps[e.clause]
@@ -594,7 +531,7 @@ func simulateBatch(steps []step, waves int, budget uint64, hang int) (uint64, Co
 		}
 		ready += s.latency
 		retired++
-		h.push(event{at: ready, wave: e.wave, clause: e.clause + 1})
+		rl.push(event{at: ready, wave: e.wave, clause: e.clause + 1})
 	}
 
 	return makespan, counters(), nil

@@ -8,15 +8,23 @@
 # work: run it on two commits and diff the ns_per_op fields. CI uploads it
 # as a build artifact on every push.
 #
+# After writing the file, the script compares it against the most
+# recently committed BENCH_*.json and prints the per-benchmark ns/op
+# deltas (benchmarks present in only one file are skipped). With GATE=1
+# a regression above 25% on any compared benchmark fails the script —
+# the threshold CI's bench-smoke enforces; it is deliberately loose so
+# runner noise does not flap the gate.
+#
 # Environment overrides:
 #   BENCH      regexp alternation of benchmark names (sans Benchmark prefix)
 #   BENCHTIME  go test -benchtime value (default 2x)
 #   COUNT      go test -count value (default 1)
 #   OUTDIR     directory for the JSON file (default repo root)
+#   GATE       1 = exit nonzero on a >25% ns/op regression vs the baseline
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Fig2Disassembly|Fig7ALUFetch|Fig7RepeatedSweepCached|Fig7RepeatedSweepUncached|SequentialBundle|CampaignBundle}"
+BENCH="${BENCH:-Fig2Disassembly|Fig7ALUFetch|Fig7RepeatedSweepCached|Fig7RepeatedSweepUncached|IncrementalSweepCold|IncrementalSweepReuse|SequentialBundle|CampaignBundle}"
 BENCHTIME="${BENCHTIME:-2x}"
 COUNT="${COUNT:-1}"
 OUTDIR="${OUTDIR:-.}"
@@ -62,3 +70,43 @@ END { printf "\n  ]\n}\n" }
 ' >"$out"
 
 echo "wrote $out" >&2
+
+# ---- baseline comparison ----
+# The baseline is the most recently committed BENCH_*.json (by commit
+# time), i.e. the artifact the previous performance-relevant change
+# recorded. Only benchmarks present in both files are compared.
+baseline=""
+newest=0
+while read -r f; do
+	[ "$f" = "$(basename "$out")" ] && continue
+	ct=$(git log -1 --format=%ct -- "$f" 2>/dev/null || echo 0)
+	[ -z "$ct" ] && ct=0
+	if [ "$ct" -gt "$newest" ]; then
+		newest=$ct
+		baseline=$f
+	fi
+done < <(git ls-files 'BENCH_*.json' 2>/dev/null || true)
+
+if [ -z "$baseline" ]; then
+	echo "no committed BENCH_*.json baseline; skipping comparison" >&2
+elif ! command -v jq >/dev/null 2>&1; then
+	echo "jq not found; skipping baseline comparison" >&2
+else
+	echo "deltas vs $baseline:" >&2
+	fail=0
+	while IFS=$'\t' read -r name base cur; do
+		delta=$(awk -v b="$base" -v c="$cur" 'BEGIN { printf "%+.1f", 100 * (c - b) / b }')
+		printf '  %-32s %14.0f -> %14.0f ns/op  (%s%%)\n' "$name" "$base" "$cur" "$delta" >&2
+		if awk -v b="$base" -v c="$cur" 'BEGIN { exit !(c > 1.25 * b) }'; then
+			echo "  ^ REGRESSION: $name is more than 25% slower than the baseline" >&2
+			fail=1
+		fi
+	done < <(jq -r --slurpfile base "$baseline" '
+		.benchmarks[] as $cur
+		| ($base[0].benchmarks[] | select(.name == $cur.name)) as $b
+		| [$cur.name, $b.ns_per_op, $cur.ns_per_op] | @tsv' "$out")
+	if [ "$fail" = 1 ] && [ "${GATE:-0}" = 1 ]; then
+		echo "bench gate: >25% regression against $baseline" >&2
+		exit 1
+	fi
+fi
