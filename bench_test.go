@@ -15,6 +15,7 @@ import (
 	"amdgpubench/internal/campaign"
 	"amdgpubench/internal/core"
 	"amdgpubench/internal/device"
+	"amdgpubench/internal/hier"
 	"amdgpubench/internal/il"
 	"amdgpubench/internal/ilc"
 	"amdgpubench/internal/kerngen"
@@ -437,4 +438,54 @@ func BenchmarkCampaignBundle(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.Stats.DedupedTotal()), "deduped-executions")
 	b.ReportMetric(float64(res.Executed), "points-executed")
+}
+
+// BenchmarkHierInfer is the memory-hierarchy dissection end to end: the
+// staged probe schedule against the RV770 model, recovering L1/L2
+// capacity, line size, associativity and the miss-hit delta from
+// measured curves alone. The benchmark fails outright if any recovered
+// parameter disagrees with the device table, so a cache-model or
+// timing-model regression cannot hide inside a "fast but wrong" run;
+// the probe count lands in BENCH_<sha>.json as the schedule-size metric.
+func BenchmarkHierInfer(b *testing.B) {
+	spec := device.Lookup(device.RV770)
+	probes := 0
+	for i := 0; i < b.N; i++ {
+		inf, err := hier.Infer(hier.SimMeasurer(spec, 100), hier.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms := inf.Diff(spec); len(ms) != 0 {
+			b.Fatalf("inference diverged from the device model: %v", ms)
+		}
+		probes = inf.Probes
+	}
+	b.ReportMetric(float64(probes), "probes")
+}
+
+// BenchmarkHierLadderSweep runs the hier-lat campaign figure — the
+// pointer-chase latency ladder over every device — through the full
+// planned pipeline. Its largest points replay multi-thousand-slot fetch
+// schedules, so this tracks the packed-arena replay cost the dissection
+// added to the hot path.
+func BenchmarkHierLadderSweep(b *testing.B) {
+	points := 0
+	for i := 0; i < b.N; i++ {
+		s := newSuite()
+		spec, err := hier.LatencyLadderSpec(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, runs, err := s.RunFigureSpec(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range runs {
+			if r.Failed() {
+				b.Fatalf("point %s x=%g failed: %s", r.Card.Label(), r.X, r.Err)
+			}
+		}
+		points = len(runs)
+	}
+	b.ReportMetric(float64(points), "points-executed")
 }

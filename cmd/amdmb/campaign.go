@@ -85,7 +85,8 @@ func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
 		if n == "" {
 			continue
 		}
-		if !campaign.Known(n) {
+		// Trailing-'*' globs expand below; plain names must be known.
+		if !strings.HasSuffix(n, "*") && !campaign.Known(n) {
 			fmt.Fprintf(stderr, "amdmb campaign: unknown figure %q\n", n)
 			fmt.Fprintf(stderr, "figures: %s\n", strings.Join(campaign.FigureNames(), " "))
 			return 2
@@ -94,6 +95,11 @@ func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
 	}
 	if len(names) == 0 {
 		fmt.Fprintln(stderr, "amdmb campaign: -figs lists no figures")
+		return 2
+	}
+	names, err := campaign.Expand(names)
+	if err != nil {
+		fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
 		return 2
 	}
 

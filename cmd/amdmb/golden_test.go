@@ -81,6 +81,9 @@ func TestGoldenFilesPresent(t *testing.T) {
 	for _, fig := range goldenFigures {
 		want[fig+".csv"] = true
 	}
+	for _, fig := range hierGoldenFigures {
+		want[fig+".csv"] = true
+	}
 	for _, e := range entries {
 		if !want[e.Name()] {
 			t.Errorf("stray golden file %s", e.Name())

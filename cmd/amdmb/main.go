@@ -6,6 +6,7 @@
 //
 //	amdmb [flags] <experiment>...
 //	amdmb campaign -figs fig7,fig8,fig11,fig16 [flags]
+//	amdmb infer [flags]
 //	amdmb soak [flags]
 //
 // Experiments: table1 fig2 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14
@@ -17,7 +18,17 @@
 // work shared between figures runs once and a checkpoint spans the
 // whole bundle; `-plan` prints the schedule and dedup statistics
 // without running. See campaign.go and internal/campaign; `amdmb
-// campaign -h` lists its flags.
+// campaign -h` lists its flags. Beyond the paper's figures, the
+// campaign registry includes the memory-hierarchy dissection figures
+// hier-lat, hier-wset, hier-line and hier-stride (internal/hier); a
+// trailing-'*' glob like `-figs 'hier-*'` plans a whole family.
+//
+// The infer subcommand runs the memory-hierarchy dissection and
+// recovers L1/L2 capacity, line size, associativity and the miss-hit
+// latency delta from the measured curves alone, diffing the recovered
+// model against the device table and exiting nonzero on any mismatch —
+// the suite measuring, then proving, its own cache model. See infer.go
+// and internal/hier; `amdmb infer -h` lists its flags.
 //
 // The soak subcommand runs seeded adversarial stress campaigns —
 // generated kernels under fault injection, kill/checkpoint/resume
@@ -333,6 +344,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return runSoak(argv[1:], stdout, stderr)
 		case "campaign":
 			return runCampaignCmd(argv[1:], stdout, stderr)
+		case "infer":
+			return runInferCmd(argv[1:], stdout, stderr)
 		}
 	}
 	c := &cli{out: stdout, errOut: stderr}
@@ -350,6 +363,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "usage: amdmb [flags] <experiment>...")
 		fmt.Fprintln(stderr, "       amdmb campaign -figs a,b,... [flags]   (deduped multi-figure schedule; amdmb campaign -h)")
+		fmt.Fprintln(stderr, "       amdmb infer [flags]   (recover the cache model from measured curves; amdmb infer -h)")
 		fmt.Fprintln(stderr, "       amdmb soak [flags]   (adversarial stress campaigns; amdmb soak -h)")
 		fmt.Fprintln(stderr, "experiments:")
 		for _, e := range exps {

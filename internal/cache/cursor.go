@@ -32,6 +32,10 @@ type Cursor struct {
 	// is immutable after construction and shared between clones.
 	offs       []int64
 	singleLine bool
+	// packedBytes is the surface spacing of the packed arena a non-nil
+	// FetchRes schedule replays over (surface k at k*packedBytes); zero
+	// selects the legacy far-apart bases.
+	packedBytes uint64
 
 	next int // inputs fully replayed so far
 	st   TraceStats
@@ -101,13 +105,24 @@ func NewCursor(cfg TraceConfig) (*Cursor, error) {
 		}
 	}
 
+	var packed uint64
+	if cfg.FetchRes != nil {
+		for s, surf := range cfg.FetchRes {
+			if surf < 0 {
+				return nil, fmt.Errorf("cache: fetch slot %d reads negative surface %d", s, surf)
+			}
+		}
+		packed = uint64(geom.SizeBytes())
+	}
+
 	return &Cursor{
-		cfg:        cfg,
-		l1:         l1,
-		l2:         l2,
-		rows:       rows,
-		offs:       offs,
-		singleLine: singleLine,
+		cfg:         cfg,
+		l1:          l1,
+		l2:          l2,
+		rows:        rows,
+		offs:        offs,
+		singleLine:  singleLine,
+		packedBytes: packed,
 	}, nil
 }
 
@@ -133,15 +148,26 @@ func (cur *Cursor) Advance(toInputs int) error {
 	if toInputs < cur.next {
 		return fmt.Errorf("cache: cursor at input %d cannot rewind to %d", cur.next, toInputs)
 	}
-	// Each input is a separate surface; bases are spaced far apart so
-	// surfaces never alias by accident. Every surface shares one geometry
-	// and differs only in its base address.
+	// With the legacy identity schedule each input is a separate surface
+	// and bases are spaced far apart so surfaces never alias by accident.
+	// A FetchRes schedule instead replays a packed arena (see TraceConfig):
+	// slot s reads surface FetchRes[s] at base FetchRes[s]*packedBytes.
+	// Every surface shares one geometry and differs only in its base.
 	const stride = uint64(1) << 32
 
 	st := &cur.st
 	waves := cur.cfg.ResidentWaves
+	sched := cur.cfg.FetchRes
+	if sched != nil && toInputs > len(sched) {
+		return fmt.Errorf("cache: cursor advance to %d exceeds %d scheduled fetch slots", toInputs, len(sched))
+	}
 	for res := cur.next; res < toInputs; res++ {
-		base := uint64(res) * stride
+		var base uint64
+		if sched != nil {
+			base = uint64(sched[res]) * cur.packedBytes
+		} else {
+			base = uint64(res) * stride
+		}
 		for wi := 0; wi < waves; wi++ {
 			st.FetchExecs++
 			lanes := cur.offs[wi*raster.WavefrontSize : (wi+1)*raster.WavefrontSize]

@@ -31,6 +31,16 @@ type TraceConfig struct {
 	// captured by the (shared) cache hierarchy. The single replayed cache
 	// stands in for that combined L1/L2 behaviour.
 	FirstWave int
+	// FetchRes, when non-nil, maps each fetch slot to the input surface it
+	// reads: slot s fetches surface FetchRes[s], and NumInputs counts
+	// SLOTS (len(FetchRes)), not distinct surfaces. Nil keeps the legacy
+	// identity schedule (slot s reads surface s). A non-nil schedule also
+	// switches the surface bases from the legacy far-apart spacing to a
+	// packed arena — surface k at k x Layout.SizeBytes — because the
+	// hierarchy-dissection kernels that revisit surfaces measure capacity
+	// and set-conflict behaviour, which only exists when surfaces occupy
+	// real adjacent addresses the way a packed allocator lays them out.
+	FetchRes []int
 }
 
 // DRAMRowBytes is the DRAM page granularity used for row-activation

@@ -7,6 +7,7 @@ import (
 
 	"amdgpubench/internal/core"
 	"amdgpubench/internal/device"
+	"amdgpubench/internal/hier"
 )
 
 // The name registry maps the CLI's figure names to their spec builders,
@@ -40,6 +41,10 @@ var builders = map[string]Builder{
 	"consts": func(s *core.Suite) (core.FigureSpec, error) {
 		return s.ConstantsSpec(core.ConstantsConfig{Arch: device.RV770})
 	},
+	"hier-lat":    hier.LatencyLadderSpec,
+	"hier-wset":   hier.WorkingSetSpec,
+	"hier-line":   hier.LineBlendSpec,
+	"hier-stride": hier.StrideResonanceSpec,
 }
 
 // Known reports whether Specs accepts the name.
@@ -58,11 +63,48 @@ func FigureNames() []string {
 	return names
 }
 
-// Specs plans the named figures on the suite, in the order given. An
-// unknown name fails with the accepted names listed; duplicates fail
-// too — the scheduler fans one result out to many figures, but two
-// copies of the same figure in one campaign is almost certainly a typo.
+// Expand resolves glob names: a trailing '*' matches every known
+// figure with the prefix, in sorted order ("hier-*" plans the whole
+// hierarchy dissection). Matches a glob already produced are not
+// repeated; a glob matching nothing is an error. Non-glob names pass
+// through untouched.
+func Expand(names []string) ([]string, error) {
+	var out []string
+	emitted := make(map[string]bool, len(names))
+	for _, name := range names {
+		if !strings.HasSuffix(name, "*") {
+			out = append(out, name)
+			emitted[name] = true
+			continue
+		}
+		prefix := strings.TrimSuffix(name, "*")
+		matched := false
+		for _, known := range FigureNames() {
+			if strings.HasPrefix(known, prefix) {
+				matched = true
+				if !emitted[known] {
+					out = append(out, known)
+					emitted[known] = true
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("campaign: glob %q matches no figure (have %s)", name, strings.Join(FigureNames(), ", "))
+		}
+	}
+	return out, nil
+}
+
+// Specs plans the named figures on the suite, in the order given,
+// expanding trailing-'*' globs first. An unknown name fails with the
+// accepted names listed; duplicates fail too — the scheduler fans one
+// result out to many figures, but two copies of the same figure in one
+// campaign is almost certainly a typo.
 func Specs(s *core.Suite, names []string) ([]Spec, error) {
+	names, err := Expand(names)
+	if err != nil {
+		return nil, err
+	}
 	specs := make([]Spec, 0, len(names))
 	seen := make(map[string]bool, len(names))
 	for _, name := range names {

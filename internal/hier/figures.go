@@ -1,0 +1,183 @@
+package hier
+
+import (
+	"fmt"
+
+	"amdgpubench/internal/core"
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/report"
+	"amdgpubench/internal/sim"
+)
+
+// The hierarchy figures are campaign-grade core.FigureSpecs: their
+// points run through the same deduplicated scheduler, replay-prefix
+// snapshots and shard partitioning as the paper's figures, and their
+// Finish closures convert wall-clock seconds into the per-fetch cycle
+// and bandwidth units the dissection argues in.
+
+// footprintGridKB is the working-set sweep for the ladder figures, in
+// KiB (one float4 surface quantum per KiB). It spans every built-in
+// L1 (8-16 KiB) and L2 (128-512 KiB) with log-spaced coverage on both
+// sides of each boundary, ending past the largest L2.
+var footprintGridKB = []int{2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512, 640, 768}
+
+// lineRoundsGrid is the hier-line figure's rounds sweep: the cold-miss
+// fraction decays as 1/R, which is the structure the line-size
+// inference inverts.
+var lineRoundsGrid = []int{16, 32, 64, 128, 256}
+
+// strideWaysGrid is the hier-stride figure's candidate associativity
+// sweep.
+var strideWaysGrid = []int{1, 2, 4, 8, 16}
+
+// hierSpec assembles a figure spec whose Finish converts each run with
+// a per-point closure, aligned index-for-index with the points.
+func hierSpec(fig *report.Figure, pts []core.KernelPoint, y []func(core.Run) float64) core.FigureSpec {
+	return core.FigureSpec{
+		Fig:    fig,
+		Points: pts,
+		Finish: func(fig *report.Figure, runs []core.Run) {
+			var cur *report.Series
+			started := false
+			var last core.Card
+			for i, r := range runs {
+				if !started || r.Card != last {
+					cur = fig.AddSeries(r.Card.Label())
+					last, started = r.Card, true
+				}
+				if r.Failed() {
+					continue
+				}
+				cur.Add(r.X, y[i](r))
+			}
+		},
+	}
+}
+
+type pointSink struct {
+	s   *core.Suite
+	pts []core.KernelPoint
+	y   []func(core.Run) float64
+	err error
+}
+
+// add plans one probe point: X is the plotted abscissa, the Y converter
+// maps the run's seconds into the figure's unit.
+func (ps *pointSink) add(arch device.Arch, p Probe, x float64, conv func(Env, Probe, core.Run) float64) {
+	if ps.err != nil {
+		return
+	}
+	k, err := p.Kernel()
+	if err != nil {
+		ps.err = err
+		return
+	}
+	env := EnvFor(device.Lookup(arch), ps.s.Iterations)
+	ps.pts = append(ps.pts, core.KernelPoint{
+		Card: core.Card{Arch: arch, Mode: il.Pixel, Type: p.Type},
+		X:    x, K: k, W: p.Width(), H: p.Height(),
+	})
+	ps.y = append(ps.y, func(r core.Run) float64 { return conv(env, p, r) })
+}
+
+func lambdaOf(env Env, p Probe, r core.Run) float64 { return env.Lambda(p, r.Seconds) }
+
+func gbpsOf(env Env, p Probe, r core.Run) float64 {
+	iters := env.Iterations
+	if iters == 0 {
+		iters = sim.DefaultIterations
+	}
+	return env.FetchedBytes(p) * float64(iters) / r.Seconds / 1e9
+}
+
+// LatencyLadderSpec plans hier-lat: the pointer-chase latency ladder.
+// Dense float4 footprints sweep across the L1 and L2 boundaries; the
+// per-fetch latency steps from the hot band through the L2 band to
+// DRAM, and report.Plateaus segments exactly those steps.
+func LatencyLadderSpec(s *core.Suite) (core.FigureSpec, error) {
+	fig := &report.Figure{
+		ID: "hier-lat", Title: "Memory hierarchy latency ladder (chase, float4)",
+		XLabel: "footprint KB", YLabel: "cycles/fetch",
+	}
+	ps := &pointSink{s: s}
+	for _, spec := range device.All() {
+		for _, kb := range footprintGridKB {
+			p := Probe{Type: il.Float4, SurfaceBytes: float4Quantum, Surfaces: kb, Rounds: lineRoundsLo, Batch: 1}
+			ps.add(spec.Arch, p, float64(kb), lambdaOf)
+		}
+	}
+	return hierSpec(fig, ps.pts, ps.y), ps.err
+}
+
+// WorkingSetSpec plans hier-wset: the same footprint sweep with eight
+// fetches per TEX clause, so clause latency amortizes and the curve
+// reads as effective fetch bandwidth per level.
+func WorkingSetSpec(s *core.Suite) (core.FigureSpec, error) {
+	fig := &report.Figure{
+		ID: "hier-wset", Title: "Working-set bandwidth (batched fetch, float4)",
+		XLabel: "footprint KB", YLabel: "GB/s",
+	}
+	ps := &pointSink{s: s}
+	for _, spec := range device.All() {
+		for _, kb := range footprintGridKB {
+			p := Probe{Type: il.Float4, SurfaceBytes: float4Quantum, Surfaces: kb, Rounds: 2, Batch: 8}
+			ps.add(spec.Arch, p, float64(kb), gbpsOf)
+		}
+	}
+	return hierSpec(fig, ps.pts, ps.y), ps.err
+}
+
+// LineBlendSpec plans hier-line: a hot two-surface float4 chase whose
+// only misses are the first round's cold lines. Per-fetch latency
+// decays toward the pure-hit floor as rounds grow; the decay amplitude
+// is proportional to lines-per-quantum — the line-size signal the
+// inference inverts.
+func LineBlendSpec(s *core.Suite) (core.FigureSpec, error) {
+	fig := &report.Figure{
+		ID: "hier-line", Title: "Cold-miss blend decay (hot chase, float4, 2 surfaces)",
+		XLabel: "rounds", YLabel: "cycles/fetch",
+	}
+	ps := &pointSink{s: s}
+	for _, spec := range device.All() {
+		for _, r := range lineRoundsGrid {
+			p := Probe{Type: il.Float4, SurfaceBytes: float4Quantum, Surfaces: 2, Rounds: r, Batch: 1}
+			ps.add(spec.Arch, p, float64(r), lambdaOf)
+		}
+	}
+	return hierSpec(fig, ps.pts, ps.y), ps.err
+}
+
+// StrideResonanceSpec plans hier-stride: for each candidate way count w,
+// w+1 quanta strided L1-capacity/w apart — all aliasing the same sets.
+// The curve steps from the hot band to the miss band exactly at the
+// card's true associativity.
+func StrideResonanceSpec(s *core.Suite) (core.FigureSpec, error) {
+	fig := &report.Figure{
+		ID: "hier-stride", Title: "Stride resonance: conflict set vs candidate ways (float)",
+		XLabel: "candidate ways", YLabel: "cycles/fetch",
+	}
+	ps := &pointSink{s: s}
+	for _, spec := range device.All() {
+		for _, w := range strideWaysGrid {
+			gap := spec.L1CacheBytes / w
+			if gap < floatQuantum || gap%floatQuantum != 0 {
+				continue
+			}
+			p := Probe{Type: il.Float, SurfaceBytes: gap, Surfaces: w + 1, Rounds: l1Rounds, Batch: 1}
+			ps.add(spec.Arch, p, float64(w), lambdaOf)
+		}
+	}
+	return hierSpec(fig, ps.pts, ps.y), ps.err
+}
+
+// InferArch runs the full inference against a built-in card through the
+// suite's pipeline and diffs it against the device table. It returns
+// the recovered model and the mismatches (empty = proof of agreement).
+func InferArch(s *core.Suite, arch device.Arch, cfg Config) (Inferred, []Mismatch, error) {
+	inf, err := Infer(SuiteMeasurer(s, arch), cfg)
+	if err != nil {
+		return inf, nil, fmt.Errorf("inferring %s: %w", arch.CardName(), err)
+	}
+	return inf, inf.Diff(device.Lookup(arch)), nil
+}

@@ -1,0 +1,367 @@
+package hier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+)
+
+// Probe schedule constants. Rounds are chosen so the hot-state cold-miss
+// fraction (lines-per-quantum / rounds, the texture latency blend the
+// simulator exposes) stays well below saturation where the curve still
+// has to distinguish hot from thrashed, and high enough that a thrashed
+// point saturates.
+const (
+	l1Rounds     = 32  // float probes: <= 8 lines/quantum, blend <= 1/4 hot
+	hotRounds    = 64  // second R for the hot-latency extrapolation
+	lineRoundsLo = 64  // float4 line probe: <= 32 lines/quantum
+	lineRoundsHi = 128 // twice lineRoundsLo; the blend halves, the rest cancels
+	l2Rounds     = 4   // dense L2 capacity sweep: amortizes cold DRAM traffic
+	l2WayRounds  = 64  // L2 associativity gap probes
+
+	floatQuantum  = 256  // bytes one wavefront touches per float surface
+	float4Quantum = 1024 // and per float4 surface
+
+	// l2ChunkBytes is the L2 capacity search granularity. One chunk is
+	// at least one full L2 way-stripe (capacity/ways <= 32 KiB on every
+	// supported geometry), so the first footprint one chunk past
+	// capacity overloads every set and the knee is a full-thrash step,
+	// not a partial one.
+	l2ChunkBytes = 32 << 10
+
+	// l2Jump is the cycles-per-fetch step that marks DRAM entering the
+	// ladder. The smallest step any supported geometry produces is a
+	// ~35-cycle per-fetch DRAM occupancy increase; plateau drift is
+	// under 10 cycles and points the other way.
+	l2Jump = 25.0
+)
+
+// Config bounds the inference search.
+type Config struct {
+	// MaxL1Bytes caps the L1 capacity doubling search; zero means 64 KiB.
+	MaxL1Bytes int
+	// MaxL2Bytes caps the L2 capacity search; zero means 1 MiB.
+	MaxL2Bytes int
+	// WayCandidates are the L1 associativities tried, in any order —
+	// the scan sorts them and takes the smallest thrashing candidate,
+	// so inference is invariant under permutations of this schedule
+	// (the metamorphic suite checks exactly that). Nil means {2,4,8,16}.
+	WayCandidates []int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxL1Bytes == 0 {
+		c.MaxL1Bytes = 64 << 10
+	}
+	if c.MaxL2Bytes == 0 {
+		c.MaxL2Bytes = 1 << 20
+	}
+	if c.WayCandidates == nil {
+		c.WayCandidates = []int{2, 4, 8, 16}
+	}
+	return c
+}
+
+// Inferred is a cache model recovered from timing curves alone.
+type Inferred struct {
+	L1Bytes     int
+	L1LineBytes int
+	L1Ways      int
+	L2Bytes     int
+	L2Ways      int
+	// MissDelta estimates TexMissLatency - TexHitLatency in cycles. It
+	// carries the L2-fill and cold-DRAM occupancy of the thrashed
+	// reference point as a small positive bias (under ~10%).
+	MissDelta float64
+	// HotLatency and MissLatency are the measured per-fetch band levels
+	// the associativity probes threshold between (diagnostics).
+	HotLatency  float64
+	MissLatency float64
+	Probes      int // distinct probe kernels measured
+}
+
+// session wraps a Measurer with memoization and a probe counter, so
+// band references reused across stages cost one simulation.
+type session struct {
+	m    Measurer
+	memo map[Probe]float64
+}
+
+func (s *session) lambda(p Probe) (float64, error) {
+	if v, ok := s.memo[p]; ok {
+		return v, nil
+	}
+	v, err := s.m(p)
+	if err != nil {
+		return 0, err
+	}
+	s.memo[p] = v
+	return v, nil
+}
+
+// Infer recovers the cache model behind a Measurer. The supported
+// geometry space (every built-in spec and every SynthSpec sits inside
+// it) is: power-of-two L1 of at least 4 KiB with capacity/ways >= 256,
+// line size 32..128, L2 a multiple of 32 KiB with at least 4x the L1
+// capacity and at least twice its associativity, and a miss-hit latency
+// delta of at least ~300 cycles.
+func Infer(m Measurer, cfg Config) (Inferred, error) {
+	cfg = cfg.withDefaults()
+	s := &session{m: m, memo: map[Probe]float64{}}
+	var inf Inferred
+
+	// --- L1 capacity: dense float ladder, doubling bracket + bisection.
+	// One footprint quantum past capacity overloads a slice of sets by a
+	// whole line-group, which bumps the program's miss blend by >= ~14
+	// cycles — far above the in-plateau drift, which is downward (the
+	// prologue amortizes away as the fetch count grows).
+	hotProbe := Probe{Type: il.Float, SurfaceBytes: floatQuantum, Surfaces: 2, Rounds: l1Rounds, Batch: 1}
+	hot, err := s.lambda(hotProbe)
+	if err != nil {
+		return inf, err
+	}
+	maxN := 2 * cfg.MaxL1Bytes / floatQuantum
+	good, goodL := 2, hot
+	bad, badL := 0, 0.0
+	for n := 4; ; n *= 2 {
+		if n > maxN {
+			return inf, fmt.Errorf("hier: no L1 capacity knee up to %d bytes", cfg.MaxL1Bytes)
+		}
+		l, err := s.lambda(denseFloat(n))
+		if err != nil {
+			return inf, err
+		}
+		if l > hot*1.3 {
+			bad, badL = n, l
+			break
+		}
+		good, goodL = n, l
+	}
+	margin := math.Max(2, 0.01*(badL-goodL))
+	for bad-good > 1 {
+		mid := (good + bad) / 2
+		l, err := s.lambda(denseFloat(mid))
+		if err != nil {
+			return inf, err
+		}
+		if l > goodL+margin {
+			bad = mid
+		} else {
+			good, goodL = mid, l
+		}
+	}
+	inf.L1Bytes = good * floatQuantum
+
+	// --- Latency bands: the thrashed reference sits past 2x L1 but
+	// within L2 (the geometry precondition L2 >= 4x L1 guarantees room),
+	// so it is the L1-miss/L2-hit band, polluted only by L2 fill.
+	nThrash := 2*inf.L1Bytes/floatQuantum + 2
+	miss, err := s.lambda(denseFloat(nThrash))
+	if err != nil {
+		return inf, err
+	}
+	inf.HotLatency, inf.MissLatency = hot, miss
+
+	// --- L1 associativity: w+1 quanta spaced capacity/w apart all alias
+	// the same sets, so the probe thrashes exactly when w >= the true
+	// way count. Candidates are sorted before scanning and the smallest
+	// thrashing one wins, so the result is invariant under permutations
+	// of the candidate schedule (the metamorphic suite checks that).
+	thresh := (hot + miss) / 2
+	sorted := append([]int(nil), cfg.WayCandidates...)
+	sort.Ints(sorted)
+	for _, w := range sorted {
+		if w < 1 || inf.L1Bytes%w != 0 {
+			continue
+		}
+		gap := inf.L1Bytes / w
+		if gap < floatQuantum || gap%floatQuantum != 0 {
+			continue // w larger than the geometry admits; cannot be the answer
+		}
+		l, err := s.lambda(Probe{Type: il.Float, SurfaceBytes: gap, Surfaces: w + 1, Rounds: l1Rounds, Batch: 1})
+		if err != nil {
+			return inf, err
+		}
+		if l > thresh {
+			inf.L1Ways = w
+			break
+		}
+	}
+	if inf.L1Ways == 0 {
+		return inf, fmt.Errorf("hier: no L1 associativity signal among candidates %v", cfg.WayCandidates)
+	}
+
+	// --- Line size, by blend inversion. A hot float4 probe's only
+	// misses are the cold first round, a fraction lines/(rounds*N) of
+	// its fetches, so lambda(R) = base + coldFrac(R)*delta: two R points
+	// give the cold-miss slope, a thrashed reference (still L2-resident,
+	// so barely polluted) gives delta, and the ratio is the line count
+	// per 1 KiB quantum — which only the line size sets.
+	pLo := Probe{Type: il.Float4, SurfaceBytes: float4Quantum, Surfaces: 2, Rounds: lineRoundsLo, Batch: 1}
+	pHi := Probe{Type: il.Float4, SurfaceBytes: float4Quantum, Surfaces: 2, Rounds: lineRoundsHi, Batch: 1}
+	lLo, err := s.lambda(pLo)
+	if err != nil {
+		return inf, err
+	}
+	lHi, err := s.lambda(pHi)
+	if err != nil {
+		return inf, err
+	}
+	nLine := 2*inf.L1Bytes/float4Quantum + 2
+	lThrash, err := s.lambda(Probe{Type: il.Float4, SurfaceBytes: float4Quantum, Surfaces: nLine, Rounds: lineRoundsLo, Batch: 1})
+	if err != nil {
+		return inf, err
+	}
+	delta := lThrash - (2*lHi - lLo)
+	diff := lLo - lHi
+	if delta <= 0 || diff <= 0 {
+		return inf, fmt.Errorf("hier: line-size blend inverted: delta %.2f diff %.2f", delta, diff)
+	}
+	const n = 2.0
+	factor := 1 / (n/(1+float64(lineRoundsLo)*n) - n/(1+float64(lineRoundsHi)*n))
+	lines := diff / delta * factor
+	lg := int(math.Round(math.Log2(lines)))
+	if lg < 3 {
+		lg = 3
+	} else if lg > 5 {
+		lg = 5
+	}
+	inf.L1LineBytes = float4Quantum >> uint(lg)
+
+	// --- L2 capacity: dense float4 ladder stepped in 32 KiB chunks.
+	// Past L1 the texture latency and L2 fill occupancy are constant;
+	// the knee is DRAM occupancy appearing, and at chunk granularity it
+	// is a full-thrash step, so a midpoint threshold bisects it exactly.
+	chunkQ := l2ChunkBytes / float4Quantum
+	n0 := (4*inf.L1Bytes/float4Quantum + chunkQ - 1) / chunkQ * chunkQ
+	if n0 < chunkQ {
+		n0 = chunkQ
+	}
+	baseL, err := s.lambda(denseFloat4(n0))
+	if err != nil {
+		return inf, err
+	}
+	maxQ := 2 * cfg.MaxL2Bytes / float4Quantum
+	good, goodL = n0, baseL
+	bad, badL = 0, 0
+	for step := chunkQ; ; step *= 2 {
+		nq := n0 + step
+		if nq > maxQ {
+			return inf, fmt.Errorf("hier: no L2 capacity knee up to %d bytes", cfg.MaxL2Bytes)
+		}
+		l, err := s.lambda(denseFloat4(nq))
+		if err != nil {
+			return inf, err
+		}
+		if l > baseL+l2Jump {
+			bad, badL = nq, l
+			break
+		}
+		good, goodL = nq, l
+	}
+	midThresh := (goodL + badL) / 2
+	for bad-good > chunkQ {
+		mid := good + (bad-good)/2/chunkQ*chunkQ
+		l, err := s.lambda(denseFloat4(mid))
+		if err != nil {
+			return inf, err
+		}
+		if l > midThresh {
+			bad = mid
+		} else {
+			good = mid
+		}
+	}
+	inf.L2Bytes = good * float4Quantum
+
+	// --- L2 associativity: K quanta spaced a full L2 capacity apart
+	// alias one set-group in both caches. The L1 is thrashed throughout
+	// (K > L1 ways), so the only moving part is whether K lines fit in
+	// an L2 set — the first K that spills to DRAM is ways+1.
+	kRef := 2 * inf.L1Ways
+	ref, err := s.lambda(l2Gap(inf.L2Bytes, kRef))
+	if err != nil {
+		return inf, err
+	}
+	for k := kRef + 1; k <= 17; k++ {
+		l, err := s.lambda(l2Gap(inf.L2Bytes, k))
+		if err != nil {
+			return inf, err
+		}
+		if l > ref+l2Jump {
+			inf.L2Ways = k - 1
+			break
+		}
+	}
+	if inf.L2Ways == 0 {
+		return inf, fmt.Errorf("hier: no L2 associativity signal up to 16 ways")
+	}
+
+	// --- Miss latency delta: the thrashed float band minus the
+	// zero-cold-miss extrapolation of the hot float band.
+	hot2, err := s.lambda(Probe{Type: il.Float, SurfaceBytes: floatQuantum, Surfaces: 2, Rounds: hotRounds, Batch: 1})
+	if err != nil {
+		return inf, err
+	}
+	inf.MissDelta = miss - (2*hot2 - hot)
+	inf.Probes = len(s.memo)
+	return inf, nil
+}
+
+func denseFloat(n int) Probe {
+	return Probe{Type: il.Float, SurfaceBytes: floatQuantum, Surfaces: n, Rounds: l1Rounds, Batch: 1}
+}
+
+func denseFloat4(n int) Probe {
+	return Probe{Type: il.Float4, SurfaceBytes: float4Quantum, Surfaces: n, Rounds: l2Rounds, Batch: 1}
+}
+
+func l2Gap(l2Bytes, k int) Probe {
+	return Probe{Type: il.Float4, SurfaceBytes: l2Bytes, Surfaces: k, Rounds: l2WayRounds, Batch: 1}
+}
+
+// MissDeltaTolerance is the relative tolerance Diff allows on the
+// inferred miss-hit latency delta: the estimate carries the thrashed
+// band's L2-fill and cold-DRAM occupancy as positive bias, bounded by
+// ~10% across the supported geometry space.
+const MissDeltaTolerance = 0.15
+
+// Mismatch is one inferred parameter that disagrees with ground truth.
+type Mismatch struct {
+	Param     string
+	Got, Want float64
+	Tol       float64 // relative tolerance; 0 means exact
+}
+
+func (m Mismatch) String() string {
+	if m.Tol == 0 {
+		return fmt.Sprintf("%s: inferred %g, device says %g", m.Param, m.Got, m.Want)
+	}
+	return fmt.Sprintf("%s: inferred %g, device says %g (tolerance %g%%)", m.Param, m.Got, m.Want, m.Tol*100)
+}
+
+// Diff compares the inferred model against a spec's ground truth:
+// capacities, line size and associativities bit-exactly, the latency
+// delta within MissDeltaTolerance. An empty result is a proof the
+// measured curves and the device table agree.
+func (inf Inferred) Diff(spec device.Spec) []Mismatch {
+	var ms []Mismatch
+	exact := func(param string, got, want int) {
+		if got != want {
+			ms = append(ms, Mismatch{Param: param, Got: float64(got), Want: float64(want)})
+		}
+	}
+	exact("l1-bytes", inf.L1Bytes, spec.L1CacheBytes)
+	exact("l1-line-bytes", inf.L1LineBytes, spec.L1LineBytes)
+	exact("l1-ways", inf.L1Ways, spec.L1Ways)
+	exact("l2-bytes", inf.L2Bytes, spec.L2CacheBytes)
+	exact("l2-ways", inf.L2Ways, spec.L2Ways)
+	want := float64(spec.TexMissLatency - spec.TexHitLatency)
+	if math.Abs(inf.MissDelta-want) > MissDeltaTolerance*want {
+		ms = append(ms, Mismatch{Param: "miss-delta", Got: inf.MissDelta, Want: want, Tol: MissDeltaTolerance})
+	}
+	return ms
+}

@@ -1,0 +1,144 @@
+package hier
+
+import (
+	"fmt"
+	"testing"
+
+	"amdgpubench/internal/core"
+	"amdgpubench/internal/device"
+)
+
+// inferIters keeps test probes cheap: the simulation is deterministic,
+// so the per-launch cycle counts — and therefore the inference — are
+// identical at any iteration count.
+const inferIters = 100
+
+// TestInferBuiltinsExact is the suite proving its own cache model: for
+// every built-in device, inference over measured curves alone must
+// recover L1/L2 capacity, line size and associativity bit-exactly, and
+// the miss-hit latency delta within tolerance.
+func TestInferBuiltinsExact(t *testing.T) {
+	for _, spec := range device.All() {
+		spec := spec
+		t.Run(spec.Arch.CardName(), func(t *testing.T) {
+			t.Parallel()
+			inf, err := Infer(SimMeasurer(spec, inferIters), Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range inf.Diff(spec) {
+				t.Error(m)
+			}
+			if inf.Probes == 0 {
+				t.Error("inference reported zero probes")
+			}
+		})
+	}
+}
+
+// TestInferBuiltinsThroughSuite runs one arch's inference through the
+// suite's staged pipeline — the artifact-cached, prefix-snapshotting
+// path `amdmb infer` uses — and checks it agrees with the direct
+// simulation path probe for probe.
+func TestInferBuiltinsThroughSuite(t *testing.T) {
+	s := core.NewSuite()
+	s.Iterations = inferIters
+	arch := device.RV870
+	viaSuite, err := Infer(SuiteMeasurer(s, arch), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Infer(SimMeasurer(device.Lookup(arch), inferIters), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaSuite != direct {
+		t.Errorf("suite path inferred %+v,\ndirect path %+v", viaSuite, direct)
+	}
+	if ms := viaSuite.Diff(device.Lookup(arch)); len(ms) > 0 {
+		for _, m := range ms {
+			t.Error(m)
+		}
+	}
+}
+
+// TestInferSynthetics is the property test: ~50 seeded synthetic cache
+// geometries drawn from the supported space, every one recovered
+// exactly. Table-driven so CI can run it under -race.
+func TestInferSynthetics(t *testing.T) {
+	seeds := 50
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			t.Parallel()
+			spec := SynthSpec(seed)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("synthetic spec invalid: %v", err)
+			}
+			inf, err := Infer(SimMeasurer(spec, inferIters), Config{})
+			if err != nil {
+				t.Fatalf("C1=%d L=%d w1=%d C2=%d w2=%d: %v",
+					spec.L1CacheBytes, spec.L1LineBytes, spec.L1Ways,
+					spec.L2CacheBytes, spec.L2Ways, err)
+			}
+			for _, m := range inf.Diff(spec) {
+				t.Errorf("C1=%d L=%d w1=%d C2=%d w2=%d: %s",
+					spec.L1CacheBytes, spec.L1LineBytes, spec.L1Ways,
+					spec.L2CacheBytes, spec.L2Ways, m)
+			}
+		})
+	}
+}
+
+func TestSynthSpecDeterministicAndInSpace(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		a, b := SynthSpec(seed), SynthSpec(seed)
+		if a != b {
+			t.Fatalf("seed %d: SynthSpec not deterministic", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.L1CacheBytes < 4<<10 || a.L1CacheBytes > 32<<10 {
+			t.Errorf("seed %d: L1 %d outside [4K,32K]", seed, a.L1CacheBytes)
+		}
+		if a.L2CacheBytes < 4*a.L1CacheBytes || a.L2CacheBytes%(32<<10) != 0 {
+			t.Errorf("seed %d: L2 %d violates multiple-of-32K >= 4xL1", seed, a.L2CacheBytes)
+		}
+		if a.L2Ways < 2*a.L1Ways || a.L2Ways > 16 {
+			t.Errorf("seed %d: L2 ways %d outside [2x%d,16]", seed, a.L2Ways, a.L1Ways)
+		}
+		if d := a.TexMissLatency - a.TexHitLatency; d < 300 {
+			t.Errorf("seed %d: miss delta %d below 300", seed, d)
+		}
+	}
+}
+
+// TestDiffFlagsMismatches: Diff must actually catch a wrong model — the
+// exit-nonzero contract of `amdmb infer` rests on it.
+func TestDiffFlagsMismatches(t *testing.T) {
+	spec := device.Lookup(device.RV770)
+	inf := Inferred{
+		L1Bytes: spec.L1CacheBytes * 2, L1LineBytes: spec.L1LineBytes,
+		L1Ways: spec.L1Ways, L2Bytes: spec.L2CacheBytes, L2Ways: spec.L2Ways,
+		MissDelta: float64(spec.TexMissLatency-spec.TexHitLatency) * 2,
+	}
+	ms := inf.Diff(spec)
+	if len(ms) != 2 {
+		t.Fatalf("got %d mismatches %v, want 2 (l1-bytes, miss-delta)", len(ms), ms)
+	}
+	if ms[0].Param != "l1-bytes" || ms[1].Param != "miss-delta" {
+		t.Errorf("mismatch params %v", ms)
+	}
+	exactMatch := Inferred{
+		L1Bytes: spec.L1CacheBytes, L1LineBytes: spec.L1LineBytes,
+		L1Ways: spec.L1Ways, L2Bytes: spec.L2CacheBytes, L2Ways: spec.L2Ways,
+		MissDelta: float64(spec.TexMissLatency - spec.TexHitLatency),
+	}
+	if ms := exactMatch.Diff(spec); len(ms) != 0 {
+		t.Errorf("exact model reported mismatches: %v", ms)
+	}
+}

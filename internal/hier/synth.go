@@ -1,0 +1,53 @@
+package hier
+
+import (
+	"math/rand"
+
+	"amdgpubench/internal/device"
+)
+
+// SynthSpec derives a synthetic cache geometry from a seed,
+// deterministically: same seed, same spec. The geometry is drawn from
+// the space Infer supports (see its doc comment) so that inference is
+// expected to recover it exactly:
+//
+//   - line size in {32, 64, 128};
+//   - L1 associativity in {2, 4, 8} with capacity a power of two in
+//     [4 KiB, 32 KiB] (capacity/ways >= 512 always holds);
+//   - L2 associativity a power of two in [2 x L1 ways, 16], capacity a
+//     multiple of 32 KiB in [max(32 KiB, 4 x L1), 128 KiB];
+//   - hit latency in [100, 400] with a miss delta in [300, 700].
+//
+// Everything else — engine counts, clocks, the memory system — is the
+// RV770's, so the spec always passes device validation and the
+// simulator's cost model stays in the regime the probes are calibrated
+// for.
+func SynthSpec(seed int64) device.Spec {
+	rng := rand.New(rand.NewSource(seed))
+	spec := device.Lookup(device.RV770)
+
+	spec.L1LineBytes = 32 << rng.Intn(3)
+	spec.L1Ways = 2 << rng.Intn(3)
+	spec.L1CacheBytes = 4096 << rng.Intn(4)
+
+	w2min := 2 * spec.L1Ways
+	shifts := 0
+	for w := w2min; w*2 <= 16; w *= 2 {
+		shifts++
+	}
+	spec.L2Ways = w2min << rng.Intn(shifts+1)
+
+	lo := 4 * spec.L1CacheBytes
+	if lo < 32<<10 {
+		lo = 32 << 10
+	}
+	var sizes []int
+	for c := lo; c <= 128<<10; c += 32 << 10 {
+		sizes = append(sizes, c)
+	}
+	spec.L2CacheBytes = sizes[rng.Intn(len(sizes))]
+
+	spec.TexHitLatency = 100 + rng.Intn(301)
+	spec.TexMissLatency = spec.TexHitLatency + 300 + rng.Intn(401)
+	return spec
+}

@@ -338,10 +338,16 @@ type replayKey struct {
 	l1Bytes, l1Line, l1Ways int
 	l2Bytes, l2Ways         int
 	maxFetchesTEX           int
+	// fetchSeq digests a non-identity fetch schedule (cache.TraceConfig.
+	// FetchRes): hierarchy-dissection kernels that revisit surfaces get
+	// their own replay identity — and their own prefix-snapshot family —
+	// per schedule. Zero for the identity schedule, so every pre-existing
+	// replay key is unchanged.
+	fetchSeq [sha256.Size]byte
 }
 
 func replayKeyFor(tc cache.TraceConfig) replayKey {
-	return replayKey{
+	k := replayKey{
 		order:         tc.Order,
 		w:             tc.W,
 		h:             tc.H,
@@ -357,6 +363,18 @@ func replayKeyFor(tc cache.TraceConfig) replayKey {
 		l2Ways:        tc.Spec.L2Ways,
 		maxFetchesTEX: tc.Spec.MaxFetchesPerTEXClause,
 	}
+	if tc.FetchRes != nil {
+		h := sha256.New()
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(tc.FetchRes)))
+		h.Write(buf[:])
+		for _, surf := range tc.FetchRes {
+			binary.LittleEndian.PutUint64(buf[:], uint64(int64(surf)))
+			h.Write(buf[:])
+		}
+		h.Sum(k.fetchSeq[:0])
+	}
+	return k
 }
 
 // Replay runs the trace through the cache model, memoized on the fetch

@@ -233,38 +233,91 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
-// Crossover returns the first X at which the series' Y rises more than
-// tol above its minimum over the preceding plateau — the "bound switches
-// from fetch to ALU" point the paper reads off its ALU:Fetch figures.
-// Returns NaN when the series never leaves its plateau.
-//
-// The departure threshold is tol of the series' overall Y range (with a
-// tiny absolute floor), not tol of the plateau value: a multiplicative
-// threshold collapses to zero on a zero plateau (any float jitter would
-// "cross over") and inverts on a negative one (plateau*(1+tol) is
-// *below* the plateau, so the very first point fires).
-func Crossover(s Series, tol float64) float64 {
-	if len(s.Points) < 2 {
-		return math.NaN()
+// Plateau is one flat run of a stepped curve: a maximal stretch of
+// points whose Y values stay within a tolerance band of the run's mean.
+// Start and End index the series' points as [Start, End); Level is the
+// mean Y of the run's in-band points (an isolated spike that
+// immediately returns to the band stays inside the run's index range
+// but is excluded from its level).
+type Plateau struct {
+	Start, End int
+	Level      float64
+}
+
+// Plateaus segments a stepped curve into flat runs. A point extends the
+// current run when its Y lies within tol of the run's mean level,
+// measured relative to the level's magnitude with a small absolute
+// floor — so a zero-level plateau does not fire on float jitter, and a
+// negative level does not invert the band the way plateau*(1+tol)
+// would. A departure opens a new run only when it persists: the next
+// point is also outside the band on the same side, or the departing
+// point is the last. An isolated spike is an outlier of the run it
+// interrupts, not a plateau of its own.
+func Plateaus(s Series, tol float64) []Plateau {
+	n := len(s.Points)
+	if n == 0 {
+		return nil
 	}
-	minY, maxY := s.Points[0].Y, s.Points[0].Y
-	for _, p := range s.Points {
-		minY = math.Min(minY, p.Y)
-		maxY = math.Max(maxY, p.Y)
-	}
-	delta := tol * (maxY - minY)
 	const floor = 1e-12
-	if delta < floor {
-		delta = floor
+	var out []Plateau
+	cur := Plateau{Start: 0, Level: s.Points[0].Y}
+	sum, cnt := s.Points[0].Y, 1.0
+	for i := 1; i < n; i++ {
+		y := s.Points[i].Y
+		band := tol*math.Abs(cur.Level) + floor
+		if math.Abs(y-cur.Level) <= band {
+			sum += y
+			cnt++
+			cur.Level = sum / cnt
+			continue
+		}
+		up := y > cur.Level
+		persists := i == n-1
+		if !persists {
+			next := s.Points[i+1].Y
+			persists = math.Abs(next-cur.Level) > band && (next > cur.Level) == up
+		}
+		if !persists {
+			continue
+		}
+		cur.End = i
+		out = append(out, cur)
+		cur = Plateau{Start: i, Level: y}
+		sum, cnt = y, 1
 	}
-	plateau := s.Points[0].Y
-	for _, p := range s.Points {
-		if p.Y < plateau {
-			plateau = p.Y
+	cur.End = n
+	return append(out, cur)
+}
+
+// Crossovers returns the X positions of every ascending step of the
+// curve: for each plateau whose level is above its predecessor's, the X
+// of the plateau's first point.
+func Crossovers(s Series, tol float64) []float64 {
+	ps := Plateaus(s, tol)
+	var xs []float64
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Level > ps[i-1].Level {
+			xs = append(xs, s.Points[ps[i].Start].X)
 		}
-		if p.Y > plateau+delta {
-			return p.X
-		}
+	}
+	return xs
+}
+
+// Crossover returns the first X at which the series steps up — the
+// "bound switches from fetch to ALU" point the paper reads off its
+// ALU:Fetch figures, or the first capacity knee of a latency ladder.
+// Returns NaN when the series never steps up.
+//
+// It is the first element of Crossovers, which segments the curve into
+// plateaus before looking for a step. Segmenting first matters on
+// curves with three or more plateaus: measuring every departure against
+// tol of the series' global Y range — what this function used to do —
+// silently skips a genuine early knee smaller than tol x (max-min),
+// e.g. the L1-to-L2 step of a latency ladder that later climbs all the
+// way to DRAM, and reports the tallest step instead of the first.
+func Crossover(s Series, tol float64) float64 {
+	if xs := Crossovers(s, tol); len(xs) > 0 {
+		return xs[0]
 	}
 	return math.NaN()
 }

@@ -176,6 +176,78 @@ func TestCrossoverZeroAndNegativePlateaus(t *testing.T) {
 	}
 }
 
+func TestCrossoverMultiPlateauPicksFirstKnee(t *testing.T) {
+	// Regression: a three-plateau curve (the shape of a latency ladder
+	// crossing L1 then L2 then DRAM) whose first step is smaller than
+	// tol of the global Y range. The pre-fix implementation measured
+	// departures against tol x (max-min) = 99 here, so the 10->12 knee
+	// at x=3 was invisible and the reported crossover was the tallest
+	// step at x=5. Failed before the plateau-segmentation fix.
+	s := Series{Points: []Point{
+		{1, 10}, {2, 10}, {3, 12}, {4, 12}, {5, 1000}, {6, 1000},
+	}}
+	if got := Crossover(s, 0.1); got != 3 {
+		t.Fatalf("crossover = %v, want first knee at 3", got)
+	}
+	if got := Crossovers(s, 0.1); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("crossovers = %v, want [3 5]", got)
+	}
+}
+
+func TestPlateaus(t *testing.T) {
+	s := Series{Points: []Point{
+		{1, 10}, {2, 10.2}, {3, 9.8}, // plateau ~10
+		{4, 50}, {5, 50.1}, // plateau ~50
+		{6, 400}, {7, 400}, {8, 401}, // plateau ~400
+	}}
+	ps := Plateaus(s, 0.1)
+	if len(ps) != 3 {
+		t.Fatalf("plateaus = %+v, want 3 segments", ps)
+	}
+	wantLevels := []float64{10, 50, 400}
+	wantStarts := []int{0, 3, 5}
+	for i, p := range ps {
+		if p.Start != wantStarts[i] {
+			t.Errorf("plateau %d starts at %d, want %d", i, p.Start, wantStarts[i])
+		}
+		if math.Abs(p.Level-wantLevels[i]) > 0.05*wantLevels[i] {
+			t.Errorf("plateau %d level = %v, want about %v", i, p.Level, wantLevels[i])
+		}
+	}
+	if ps[0].End != 3 || ps[1].End != 5 || ps[2].End != 8 {
+		t.Errorf("plateau bounds wrong: %+v", ps)
+	}
+}
+
+func TestPlateausIgnoresIsolatedSpike(t *testing.T) {
+	// A one-point spike that immediately returns to the band is an
+	// outlier of the run it interrupts, not a plateau — and must not
+	// register as a crossover.
+	s := Series{Points: []Point{
+		{1, 10}, {2, 10}, {3, 90}, {4, 10}, {5, 10},
+	}}
+	if ps := Plateaus(s, 0.1); len(ps) != 1 {
+		t.Fatalf("plateaus = %+v, want the spike absorbed into one run", ps)
+	}
+	if got := Crossover(s, 0.1); !math.IsNaN(got) {
+		t.Fatalf("crossover = %v, want NaN for spike-only series", got)
+	}
+}
+
+func TestPlateausEdgeCases(t *testing.T) {
+	if ps := Plateaus(Series{}, 0.1); ps != nil {
+		t.Fatalf("empty series plateaus = %+v, want nil", ps)
+	}
+	one := Series{Points: []Point{{1, 7}}}
+	ps := Plateaus(one, 0.1)
+	if len(ps) != 1 || ps[0].Start != 0 || ps[0].End != 1 || ps[0].Level != 7 {
+		t.Fatalf("single-point plateaus = %+v", ps)
+	}
+	if got := Crossovers(one, 0.1); got != nil {
+		t.Fatalf("single-point crossovers = %v, want none", got)
+	}
+}
+
 func TestLinearFit(t *testing.T) {
 	var s Series
 	for x := 1.0; x <= 10; x++ {

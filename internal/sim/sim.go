@@ -144,7 +144,39 @@ func TraceConfigFor(cfg Config) (cache.TraceConfig, bool) {
 		NumInputs:     texFetches,
 		ResidentWaves: waves,
 		LinearLayout:  cfg.Ablate.LinearTextures,
+		FetchRes:      fetchSchedule(cfg.Prog),
 	}, true
+}
+
+// fetchSchedule extracts the per-slot resource schedule of the program's
+// cached fetch stream. A kernel that samples each input exactly once in
+// declaration order — every kerngen kernel — has the identity schedule,
+// returned as nil so its trace identity (and every memoized replay keyed
+// on it) is unchanged. The hierarchy-dissection kernels revisit inputs
+// (pointer-chase rounds), and their non-identity schedules replay against
+// the packed arena cache.TraceConfig documents.
+func fetchSchedule(p *isa.Program) []int {
+	var seq []int
+	identity := true
+	for i := range p.Clauses {
+		c := &p.Clauses[i]
+		if c.Kind != isa.ClauseTEX {
+			continue
+		}
+		for _, f := range c.Fetches {
+			if f.Global {
+				continue
+			}
+			if f.Resource != len(seq) {
+				identity = false
+			}
+			seq = append(seq, f.Resource)
+		}
+	}
+	if identity {
+		return nil
+	}
+	return seq
 }
 
 // Counters holds per-resource busy cycles for one steady-state batch.

@@ -24,7 +24,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-Fig2Disassembly|Fig7ALUFetch|Fig7RepeatedSweepCached|Fig7RepeatedSweepUncached|IncrementalSweepCold|IncrementalSweepReuse|SequentialBundle|CampaignBundle}"
+BENCH="${BENCH:-Fig2Disassembly|Fig7ALUFetch|Fig7RepeatedSweepCached|Fig7RepeatedSweepUncached|IncrementalSweepCold|IncrementalSweepReuse|SequentialBundle|CampaignBundle|HierInfer|HierLadderSweep}"
 BENCHTIME="${BENCHTIME:-2x}"
 COUNT="${COUNT:-1}"
 OUTDIR="${OUTDIR:-.}"
