@@ -32,6 +32,15 @@ import (
 //	amdmb campaign -figs fig7,fig8 -checkpoint ck.json -shard 1/2 &
 //	wait; amdmb campaign -figs fig7,fig8 -checkpoint ck.json -csv
 //
+// With -remote the campaign runs on an amdmbd daemon instead of
+// in-process: the request (figures, -max-domain, -iters, optionally
+// -archs) ships over HTTP, the daemon executes it on its shared suite —
+// deduplicating against every other client's concurrent campaigns and
+// its persistent cache — and the client streams back CSVs that are
+// byte-identical to a local -csv run:
+//
+//	amdmb campaign -figs fig7,fig8 -csv -remote http://127.0.0.1:7821
+//
 // Figures print to stdout in -figs order with exactly the rendering the
 // per-figure experiments use; the campaign summary line goes to stderr,
 // so piped stdout of a -csv campaign is byte-for-byte the concatenation
@@ -50,11 +59,15 @@ func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
 		planOnly  bool
 		workers   int
 		shardSpec string
+		remote    string
+		archsSpec string
 	)
 	fs.StringVar(&figs, "figs", "", "comma-separated figures to schedule together (required)")
 	fs.BoolVar(&planOnly, "plan", false, "print the deduped schedule and dedup statistics, run nothing")
 	fs.IntVar(&workers, "workers", 0, "sweep parallelism (0 = GOMAXPROCS)")
 	fs.StringVar(&shardSpec, "shard", "", "run shard i of n (format i/n, requires -checkpoint); shards merge into the unsharded run")
+	fs.StringVar(&remote, "remote", "", "run the campaign on an amdmbd daemon at this address instead of in-process (requires -csv)")
+	fs.StringVar(&archsSpec, "archs", "", "comma-separated architectures to restrict every figure to, e.g. 4870,RV870 (remote only)")
 	c.commonFlags(fs)
 	if err := fs.Parse(argv); err != nil {
 		return 2
@@ -100,6 +113,45 @@ func runCampaignCmd(argv []string, stdout, stderr io.Writer) int {
 	names, err := campaign.Expand(names)
 	if err != nil {
 		fmt.Fprintf(stderr, "amdmb campaign: %v\n", err)
+		return 2
+	}
+
+	if remote != "" {
+		// Flags that configure the LOCAL suite or its artifacts have no
+		// remote meaning; failing beats silently ignoring them. -iters
+		// and -max-domain travel in the request instead.
+		localOnly := map[string]bool{
+			"plan": true, "shard": true, "workers": true, "checkpoint": true,
+			"checkpoint-flush": true,
+			"faults":           true, "no-cache": true, "cache-dir": true, "trace": true,
+			"cache-stats": true, "metrics": true, "metrics-json": true,
+			"progress": true, "o": true, "timeout": true, "retries": true,
+		}
+		var bad []string
+		fs.Visit(func(f *flag.Flag) {
+			if localOnly[f.Name] {
+				bad = append(bad, "-"+f.Name)
+			}
+		})
+		if len(bad) > 0 {
+			fmt.Fprintf(stderr, "amdmb campaign: %s configure the local suite and cannot combine with -remote (the daemon owns those settings)\n",
+				strings.Join(bad, " "))
+			return 2
+		}
+		if !c.csv {
+			fmt.Fprintln(stderr, "amdmb campaign: -remote requires -csv (the daemon serves figures as CSV)")
+			return 2
+		}
+		var archs []string
+		for _, a := range strings.Split(archsSpec, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				archs = append(archs, a)
+			}
+		}
+		return runRemoteCampaign(remote, names, archs, c)
+	}
+	if archsSpec != "" {
+		fmt.Fprintln(stderr, "amdmb campaign: -archs requires -remote (local campaigns sweep every architecture a figure defines)")
 		return 2
 	}
 

@@ -49,6 +49,9 @@
 //	                   'seed=42;hang:prob=0.01;transient:prob=0.05'
 //	-cache-stats       print the pipeline's per-stage artifact-cache counters
 //	-no-cache          disable content-addressed artifact caching (recompute all)
+//	-cache-dir dir     persistent on-disk simulate-result cache: results load
+//	                   from dir before computing and write through, so repeat
+//	                   runs (and daemon restarts) replay instead of recompute
 //	-trace file        record per-launch spans (with the pipeline stages nested
 //	                   inside) as Chrome trace_event JSON; open in Perfetto or
 //	                   chrome://tracing
@@ -98,9 +101,11 @@ type cli struct {
 	timeout     uint64
 	retries     int
 	checkpoint  string
+	ckptFlush   int
 	faults      string
 	cacheStats  bool
 	noCache     bool
+	cacheDir    string
 	tracePath   string
 	metrics     bool
 	metricsJSON bool
@@ -265,9 +270,11 @@ func (c *cli) commonFlags(fs *flag.FlagSet) {
 	fs.Uint64Var(&c.timeout, "timeout", 0, "per-launch watchdog budget in simulated cycles (0 = simulator default)")
 	fs.IntVar(&c.retries, "retries", 2, "retry attempts for transient launch failures")
 	fs.StringVar(&c.checkpoint, "checkpoint", "", "JSON file recording completed sweep points; re-running resumes from it")
+	fs.IntVar(&c.ckptFlush, "checkpoint-flush", 0, "save the checkpoint every N completed points (0 = default batching; 1 = every point)")
 	fs.StringVar(&c.faults, "faults", "", "deterministic fault-injection plan, e.g. 'seed=42;hang:prob=0.01;transient:prob=0.05'")
 	fs.BoolVar(&c.cacheStats, "cache-stats", false, "print the pipeline's per-stage artifact-cache counters after the experiments")
 	fs.BoolVar(&c.noCache, "no-cache", false, "disable content-addressed artifact caching (every stage recomputes)")
+	fs.StringVar(&c.cacheDir, "cache-dir", "", "persistent on-disk simulate-result cache directory (survives restarts; -no-cache disables it)")
 	fs.StringVar(&c.tracePath, "trace", "", "write per-launch spans as Chrome trace_event JSON to this file")
 	fs.BoolVar(&c.metrics, "metrics", false, "print the suite's metrics registry after the experiments")
 	fs.BoolVar(&c.metricsJSON, "metrics-json", false, "print the metrics registry as JSON (implies -metrics)")
@@ -283,7 +290,9 @@ func (c *cli) newSuite() (*core.Suite, error) {
 	s.Retries = c.retries
 	s.DeadlineCycles = c.timeout
 	s.Checkpoint = c.checkpoint
+	s.CheckpointFlushEvery = c.ckptFlush
 	s.DisableArtifactCache = c.noCache
+	s.PersistDir = c.cacheDir
 	s.MaxDomain = c.maxDomain
 	if c.tracePath != "" {
 		s.Tracer = obs.NewTracer()

@@ -188,10 +188,15 @@ func (c *soakCLI) runTorture() int {
 	tortured := filepath.Join(scratch, "tortured")
 	reference := filepath.Join(scratch, "reference")
 
+	// -checkpoint-flush 1: the harness watches checkpoint growth to time
+	// its kills, and every per-point save is another instant to tear;
+	// batched saves would both coarsen the kill windows and let the last
+	// batch race the child's exit.
 	childArgs := func(ckpt, outDir string) []string {
 		return []string{
 			"-iters", "1", "-max-domain", fmt.Sprint(maxDomain),
-			"-retries", "2", "-checkpoint", ckpt, "-csv", "-o", outDir, "fig7",
+			"-retries", "2", "-checkpoint", ckpt, "-checkpoint-flush", "1",
+			"-csv", "-o", outDir, "fig7",
 		}
 	}
 	res, err := soak.Torture(soak.TortureConfig{

@@ -1,0 +1,224 @@
+package campaign
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"amdgpubench/internal/core"
+)
+
+// jobSuite is the daemon-shaped configuration: one timing iteration, a
+// clamped domain, and — unlike testSuite — the artifact caches ON,
+// because cross-request sharing through those caches is exactly what
+// the job registry exists to exercise.
+func jobSuite(maxDomain int) *core.Suite {
+	s := core.NewSuite()
+	s.Iterations = 1
+	s.MaxDomain = maxDomain
+	return s
+}
+
+func waitJob(t *testing.T, j *Job) JobStatus {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+	return j.Status()
+}
+
+// localFigureCSVs runs the named figures on a FRESH suite — the
+// pre-daemon, single-tenant path — and returns each figure's CSV.
+func localFigureCSVs(t *testing.T, maxDomain int, names ...string) map[string]string {
+	t.Helper()
+	s := jobSuite(maxDomain)
+	res, err := mustPlan(t, s, Options{}, names...).Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]string, len(res.Figures))
+	for i, fig := range res.Figures {
+		out[names[i]] = fig.CSV()
+	}
+	return out
+}
+
+// TestJobsConcurrentSharedSuite is the daemon's core promise: two
+// clients with overlapping figure sets run concurrently on ONE suite,
+// each gets figures byte-identical to a solo run on a fresh suite, and
+// the overlap (fig8 appears in both) is served from the shared pipeline
+// caches rather than simulated twice.
+func TestJobsConcurrentSharedSuite(t *testing.T) {
+	const maxDomain = 16
+	s := jobSuite(maxDomain)
+	js := NewJobs(s)
+
+	ja, err := js.Submit(Request{Figs: []string{"fig7", "fig8"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := js.Submit(Request{Figs: []string{"fig8", "fig11"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, stB := waitJob(t, ja), waitJob(t, jb)
+	for _, st := range []JobStatus{stA, stB} {
+		if st.State != JobDone {
+			t.Fatalf("job %s state %q (error %q), want done", st.ID, st.State, st.Error)
+		}
+		if st.FailedUnits != 0 {
+			t.Fatalf("job %s failed %d units", st.ID, st.FailedUnits)
+		}
+		if st.Executed != st.Units {
+			t.Fatalf("job %s executed %d of %d units", st.ID, st.Executed, st.Units)
+		}
+	}
+
+	wantA := localFigureCSVs(t, maxDomain, "fig7", "fig8")
+	wantB := localFigureCSVs(t, maxDomain, "fig8", "fig11")
+	for _, tc := range []struct {
+		job  *Job
+		want map[string]string
+	}{{ja, wantA}, {jb, wantB}} {
+		for name, want := range tc.want {
+			fig, ok := tc.job.Figure(name)
+			if !ok {
+				t.Fatalf("job %s has no figure %q", tc.job.ID(), name)
+			}
+			if got := fig.CSV(); got != want {
+				t.Fatalf("job %s figure %q differs from a solo fresh-suite run:\n--- daemon ---\n%s\n--- solo ---\n%s", tc.job.ID(), name, got, want)
+			}
+		}
+	}
+
+	// The shared fig8: whichever job simulates a point first, the other
+	// job's identical key is served by the memory cache or coalesced
+	// into the in-flight compute — visible as cache traffic, and as
+	// fewer simulate misses than the two jobs' summed unit counts.
+	snap := s.Metrics().Snapshot()
+	shared := snap.Get("pipeline.simulate.hits") + snap.Get("pipeline.simulate.coalesced")
+	if shared == 0 {
+		t.Fatal("no simulate cache sharing between overlapping concurrent jobs")
+	}
+	if misses := snap.Get("pipeline.simulate.misses"); misses >= int64(stA.Units+stB.Units) {
+		t.Fatalf("simulate.misses = %d with %d+%d units: overlap was not deduplicated", misses, stA.Units, stB.Units)
+	}
+	if got := snap.Get("campaign.jobs.completed"); got != 2 {
+		t.Fatalf("campaign.jobs.completed = %d, want 2", got)
+	}
+	if got := snap.Get("campaign.jobs.running"); got != 0 {
+		t.Fatalf("campaign.jobs.running = %d after both jobs settled, want 0", got)
+	}
+	if got := len(js.List()); got != 2 {
+		t.Fatalf("List returned %d jobs, want 2", got)
+	}
+}
+
+// TestJobsCancel gates the first kernel launch, cancels the job while
+// it is blocked there, and checks the job settles to cancelled — not
+// failed — without touching the registry's other accounting.
+func TestJobsCancel(t *testing.T) {
+	s := jobSuite(16)
+	var once sync.Once
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.BeforeLaunch = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	js := NewJobs(s)
+	j, err := js.Submit(Request{Figs: []string{"fig7"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	if !js.Cancel(j.ID()) {
+		t.Fatal("Cancel refused a running job")
+	}
+	close(release)
+	st := waitJob(t, j)
+	if st.State != JobCancelled {
+		t.Fatalf("state %q (error %q), want cancelled", st.State, st.Error)
+	}
+	if js.Cancel(j.ID()) {
+		t.Fatal("Cancel of a settled job should report false")
+	}
+	if _, ok := j.Figure("fig7"); ok {
+		t.Fatal("cancelled job served a figure")
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Get("campaign.jobs.cancelled"); got != 1 {
+		t.Fatalf("campaign.jobs.cancelled = %d, want 1", got)
+	}
+	if got := snap.Get("campaign.jobs.failed"); got != 0 {
+		t.Fatalf("campaign.jobs.failed = %d, want 0", got)
+	}
+	if got := snap.Get("campaign.jobs.running"); got != 0 {
+		t.Fatalf("campaign.jobs.running = %d, want 0", got)
+	}
+}
+
+// TestJobsArchFilter restricts a card-major figure to one architecture
+// and checks every surviving series belongs to it.
+func TestJobsArchFilter(t *testing.T) {
+	s := jobSuite(16)
+	js := NewJobs(s)
+	j, err := js.Submit(Request{Figs: []string{"fig7"}, Archs: []string{"4870"}, Iterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitJob(t, j); st.State != JobDone {
+		t.Fatalf("state %q (error %q), want done", st.State, st.Error)
+	}
+	fig, ok := j.Figure("fig7")
+	if !ok {
+		t.Fatal("no fig7 on a done job")
+	}
+	if len(fig.Series) == 0 {
+		t.Fatal("filtered figure has no series")
+	}
+	for _, sr := range fig.Series {
+		if !strings.HasPrefix(sr.Label, "4870 ") {
+			t.Fatalf("series %q survived a 4870-only filter", sr.Label)
+		}
+	}
+}
+
+// TestSubmitValidation: every malformed request fails synchronously,
+// before a job exists.
+func TestSubmitValidation(t *testing.T) {
+	s := jobSuite(16)
+	js := NewJobs(s)
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"no figures", Request{}},
+		{"blank figures", Request{Figs: []string{" ", ""}}},
+		{"unknown figure", Request{Figs: []string{"fig99"}}},
+		{"unknown glob", Request{Figs: []string{"zfig*"}}},
+		{"unknown arch", Request{Figs: []string{"fig7"}, Archs: []string{"vega"}}},
+		{"positional figure arch-filtered", Request{Figs: []string{"trans"}, Archs: []string{"4870"}}},
+		{"hier figure arch-filtered", Request{Figs: []string{"hier-lat"}, Archs: []string{"RV770"}}},
+		{"iterations mismatch", Request{Figs: []string{"fig7"}, Iterations: 2}},
+		{"negative max_domain", Request{Figs: []string{"fig7"}, MaxDomain: -1}},
+	}
+	for _, tc := range cases {
+		if _, err := js.Submit(tc.req); err == nil {
+			t.Errorf("%s: Submit accepted %+v", tc.name, tc.req)
+		}
+	}
+	snap := s.Metrics().Snapshot()
+	if got := snap.Get("campaign.jobs.submitted"); got != 0 {
+		t.Fatalf("campaign.jobs.submitted = %d after only rejected requests, want 0", got)
+	}
+	if got := len(js.List()); got != 0 {
+		t.Fatalf("List returned %d jobs after only rejected requests, want 0", got)
+	}
+	if _, ok := js.Get("c000001"); ok {
+		t.Fatal("a rejected request left a registered job")
+	}
+}

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"sync/atomic"
@@ -72,7 +73,19 @@ func (r *Result) Failed() int {
 // returned error is the sweep's own (fatal pipeline errors, or
 // core.ErrSweepInterrupted verbatim so callers can errors.Is on it).
 func (p *Plan) Run(s *core.Suite) (*Result, error) {
-	return p.runShard(s, 0, 1)
+	return p.runShard(context.Background(), s, 0, 1, nil)
+}
+
+// RunCtx is Run bound to a context and an optional progress callback,
+// for callers running several campaigns on ONE shared suite — the
+// daemon above all. Cancelling ctx interrupts just this campaign's
+// sweep (core.ErrSweepInterrupted comes back verbatim), unlike
+// Suite.Interrupt which stops every sweep in flight. progress, when
+// non-nil, is called from worker goroutines after each executed unit
+// resolves, with the cumulative executed and failed unit counts — it
+// must be safe for concurrent calls.
+func (p *Plan) RunCtx(ctx context.Context, s *core.Suite, progress func(executed, failed int)) (*Result, error) {
+	return p.runShard(ctx, s, 0, 1, progress)
 }
 
 // RunShard executes one shard of the plan: of the scheduled unit
@@ -89,10 +102,10 @@ func (p *Plan) RunShard(s *core.Suite, shard, shards int) (*Result, error) {
 	if shards < 1 || shard < 0 || shard >= shards {
 		return nil, fmt.Errorf("campaign: shard %d/%d out of range", shard, shards)
 	}
-	return p.runShard(s, shard, shards)
+	return p.runShard(context.Background(), s, shard, shards, nil)
 }
 
-func (p *Plan) runShard(s *core.Suite, shard, shards int) (*Result, error) {
+func (p *Plan) runShard(ctx context.Context, s *core.Suite, shard, shards int, progress func(executed, failed int)) (*Result, error) {
 	m := s.Metrics()
 	m.Counter("campaign.figures.planned").Add(int64(p.Stats.Figures))
 	m.Counter("campaign.points.planned").Add(int64(p.Stats.Points))
@@ -130,7 +143,7 @@ func (p *Plan) runShard(s *core.Suite, shard, shards int) (*Result, error) {
 	// the tracer is concurrency-safe, so no extra locking here. Restored
 	// units are never observed, which is exactly what makes
 	// campaign.units.executed the "ran this invocation" count.
-	var executed atomic.Int64
+	var executed, failedUnits atomic.Int64
 	observe := func(i int) func(core.Run) {
 		executed.Add(1)
 		unitsExecuted.Inc()
@@ -142,14 +155,18 @@ func (p *Plan) runShard(s *core.Suite, shard, shards int) (*Result, error) {
 		return func(run core.Run) {
 			if run.Failed() {
 				unitsFailed.Inc()
+				failedUnits.Add(1)
 			} else {
 				unitsCompleted.Inc()
 			}
 			sp.End()
+			if progress != nil {
+				progress(int(executed.Load()), int(failedUnits.Load()))
+			}
 		}
 	}
 
-	unitRuns, err := s.RunKernelPointsSharded(kps, observe, shard, shards)
+	unitRuns, err := s.RunKernelPointsShardedCtx(ctx, kps, observe, shard, shards)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+)
+
+// writeCheckpointFile writes a raw checkpoint with the given signature
+// and runs, bypassing the live handle — the shape shard files and stale
+// leftovers have on disk.
+func writeCheckpointFile(t *testing.T, path, sig string, runs map[string]Run) {
+	t.Helper()
+	data, err := json.Marshal(checkpointFile{Signature: sig, Runs: runs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mergedRuns(t *testing.T, path string) map[string]Run {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatal(err)
+	}
+	return f.Runs
+}
+
+// TestMergeShardBeatsStaleDst is the regression test for the merge
+// precedence bug: MergeCheckpoints used to absorb dst AFTER the shard
+// sources with plain map assignment, so a stale run an earlier campaign
+// left in dst silently overwrote the fresh run a shard just computed
+// for the same key. Shards are the output of the merge; dst is history.
+func TestMergeShardBeatsStaleDst(t *testing.T) {
+	dir := t.TempDir()
+	card := Card{Arch: device.RV770, Mode: il.Pixel, Type: il.Float}
+	const sig = "00000000deadbeef"
+
+	fresh := Run{Card: card, X: 1, Seconds: 2.5, GPRs: 8}
+	stale := Run{Card: card, X: 1, Seconds: 99.0, GPRs: 8}
+	dstOnly := Run{Card: card, X: 3, Seconds: 7.0, GPRs: 4}
+
+	shard := filepath.Join(dir, "ck.json.shard0of2")
+	writeCheckpointFile(t, shard, sig, map[string]Run{"1": fresh})
+
+	// dst holds a stale run for key "1" — a key the shard also completed
+	// — plus a key no shard touched, which must survive the merge.
+	dst := filepath.Join(dir, "ck.json")
+	writeCheckpointFile(t, dst, sig, map[string]Run{"1": stale, "3": dstOnly})
+
+	n, err := MergeCheckpoints(dst, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("merged %d runs, want 2", n)
+	}
+	got := mergedRuns(t, dst)
+	if got["1"] != fresh {
+		t.Fatalf("key 1 = %+v, want the shard's fresh run %+v (stale dst won the merge)", got["1"], fresh)
+	}
+	if got["3"] != dstOnly {
+		t.Fatalf("key 3 = %+v, want dst's own run preserved", got["3"])
+	}
+}
+
+func TestMergeRejectsForeignShard(t *testing.T) {
+	dir := t.TempDir()
+	card := Card{Arch: device.RV770, Mode: il.Pixel, Type: il.Float}
+	a := filepath.Join(dir, "ck.json.shard0of2")
+	b := filepath.Join(dir, "ck.json.shard1of2")
+	writeCheckpointFile(t, a, "aaaaaaaaaaaaaaaa", map[string]Run{"0": {Card: card, Seconds: 1}})
+	writeCheckpointFile(t, b, "bbbbbbbbbbbbbbbb", map[string]Run{"1": {Card: card, Seconds: 1}})
+	if _, err := MergeCheckpoints(filepath.Join(dir, "ck.json"), a, b); err == nil {
+		t.Fatal("shards from different campaigns merged without error")
+	}
+}
+
+func TestMergeDropsFailureRecords(t *testing.T) {
+	dir := t.TempDir()
+	card := Card{Arch: device.RV770, Mode: il.Pixel, Type: il.Float}
+	shard := filepath.Join(dir, "ck.json.shard0of1")
+	writeCheckpointFile(t, shard, "cafecafecafecafe", map[string]Run{
+		"0": {Card: card, Seconds: 1},
+		"1": {Card: card, Err: "kernel timeout"},
+	})
+	dst := filepath.Join(dir, "ck.json")
+	n, err := MergeCheckpoints(dst, shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("merged %d runs, want 1 (failure records drop)", n)
+	}
+	if _, ok := mergedRuns(t, dst)["1"]; ok {
+		t.Fatal("failure record survived the merge")
+	}
+}
+
+// TestCheckpointBatchedSaves pins the save cadence: put rewrites the
+// file only every flushEvery-th completion, and flush pushes the
+// remainder — the contract that turned O(n²) per-sweep checkpoint bytes
+// into O(n²/k) without giving up crash-atomicity.
+func TestCheckpointBatchedSaves(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	card := Card{Arch: device.RV770, Mode: il.Pixel, Type: il.Float}
+
+	ck, err := openCheckpoint(path, "feedfacefeedface", 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ck.put(i, Run{Card: card, X: float64(i), Seconds: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("file written after 3 of 4 puts (stat err %v); batching is off", err)
+	}
+	if err := ck.put(3, Run{Card: card, X: 3, Seconds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mergedRuns(t, path)); got != 4 {
+		t.Fatalf("after 4th put file holds %d runs, want 4", got)
+	}
+	// Two more puts stay in memory until flush.
+	for i := 4; i < 6; i++ {
+		if err := ck.put(i, Run{Card: card, X: float64(i), Seconds: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(mergedRuns(t, path)); got != 4 {
+		t.Fatalf("mid-batch file holds %d runs, want still 4", got)
+	}
+	if err := ck.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(mergedRuns(t, path)); got != 6 {
+		t.Fatalf("after flush file holds %d runs, want 6", got)
+	}
+	// A clean flush leaves nothing dirty: flushing again is a no-op even
+	// if the file vanishes out from under it.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("no-dirty flush rewrote the file")
+	}
+}

@@ -139,6 +139,12 @@ type Suite struct {
 	// sweep point as it finishes; an interrupted sweep re-run with the
 	// same configuration resumes from it instead of recomputing.
 	Checkpoint string
+	// CheckpointFlushEvery batches checkpoint saves: the file is
+	// rewritten every this-many completed points (and always when the
+	// sweep exits, on every path). Zero picks a small default; 1 saves
+	// per point. A kill between flushes loses at most the unflushed
+	// batch, which simply recomputes on resume.
+	CheckpointFlushEvery int
 	// Faults arms deterministic fault injection (see package fault) on
 	// every device context the suite opens.
 	Faults *fault.Plan
@@ -148,6 +154,12 @@ type Suite struct {
 	// way; the switch exists for baselines (`amdmb -no-cache`) and the
 	// cached-vs-uncached benchmarks. Set it before the first sweep.
 	DisableArtifactCache bool
+	// PersistDir, when non-empty, attaches the pipeline's persistent
+	// on-disk simulate-result tier under this directory (`amdmb
+	// -cache-dir`, the daemon's restart-replay store). Results served
+	// from disk are bit-identical to recomputation. Set it before the
+	// first sweep; DisableArtifactCache turns it off too.
+	PersistDir string
 	// Tracer, when non-nil, records one span per kernel launch with the
 	// pipeline stages (generate/compile/trace/replay/simulate) nested
 	// inside it, exported as Chrome trace_event JSON (`amdmb -trace`). A
@@ -206,7 +218,10 @@ func NewSuite() *Suite {
 // first use with the suite's cache setting.
 func (s *Suite) Pipeline() *pipeline.Pipeline {
 	s.pipeOnce.Do(func() {
-		s.pipe = pipeline.New(pipeline.Options{Disabled: s.DisableArtifactCache})
+		s.pipe = pipeline.New(pipeline.Options{
+			Disabled:   s.DisableArtifactCache,
+			PersistDir: s.PersistDir,
+		})
 	})
 	return s.pipe
 }

@@ -124,6 +124,17 @@ func (s *Suite) RunKernelPointsObserved(kps []KernelPoint, observe func(i int) f
 // and merge cleanly (MergeCheckpoints) into a checkpoint an unsharded
 // run resumes from. shards <= 1 runs everything.
 func (s *Suite) RunKernelPointsSharded(kps []KernelPoint, observe func(i int) func(Run), shard, shards int) ([]Run, error) {
+	return s.RunKernelPointsShardedCtx(context.Background(), kps, observe, shard, shards)
+}
+
+// RunKernelPointsShardedCtx is RunKernelPointsSharded bound to a parent
+// context: cancelling ctx stops the sweep exactly like Suite.Interrupt —
+// undispatched points are abandoned, dispatched points complete and
+// checkpoint, and the sweep returns ErrSweepInterrupted. It exists for
+// callers multiplexing several independent sweeps over ONE shared suite
+// (the campaign daemon): Interrupt cancels every sweep in flight, a
+// context cancels just its own.
+func (s *Suite) RunKernelPointsShardedCtx(ctx context.Context, kps []KernelPoint, observe func(i int) func(Run), shard, shards int) ([]Run, error) {
 	if shards > 1 && (shard < 0 || shard >= shards) {
 		return nil, fmt.Errorf("core: shard %d out of range 0..%d", shard, shards-1)
 	}
@@ -131,7 +142,7 @@ func (s *Suite) RunKernelPointsSharded(kps []KernelPoint, observe func(i int) fu
 	for i, kp := range kps {
 		pts[i] = point{card: kp.Card, x: kp.X, k: kp.K, w: kp.W, h: kp.H}
 	}
-	return s.runPointsSharded(pts, observe, shard, shards)
+	return s.runPointsSharded(ctx, pts, observe, shard, shards)
 }
 
 // runPoints times every point and returns the runs in input order.
@@ -146,15 +157,16 @@ func (s *Suite) RunKernelPointsSharded(kps []KernelPoint, observe func(i int) fu
 // compile or configuration error — is fatal, cancels the undispatched
 // points and fails the sweep.
 func (s *Suite) runPoints(pts []point, observe func(i int) func(Run)) ([]Run, error) {
-	return s.runPointsSharded(pts, observe, 0, 1)
+	return s.runPointsSharded(context.Background(), pts, observe, 0, 1)
 }
 
 // runPointsSharded is runPoints over one shard of an interleaved
 // partition (shards <= 1 means the whole sweep). The domain clamp and
 // the checkpoint signature cover every point — identical across shards
 // — while dispatch, checkpoint restore and progress accounting cover
-// only the shard's own indices.
-func (s *Suite) runPointsSharded(pts []point, observe func(i int) func(Run), shard, shards int) ([]Run, error) {
+// only the shard's own indices. Cancelling parent interrupts the sweep
+// the same way Suite.Interrupt does, but scoped to this sweep alone.
+func (s *Suite) runPointsSharded(parent context.Context, pts []point, observe func(i int) func(Run), shard, shards int) ([]Run, error) {
 	mine := func(i int) bool { return shards <= 1 || i%shards == shard }
 	if s.MaxDomain > 0 {
 		for i := range pts {
@@ -178,7 +190,7 @@ func (s *Suite) runPointsSharded(pts []point, observe func(i int) func(Run), sha
 	var ck *checkpoint
 	if s.Checkpoint != "" {
 		var err error
-		ck, err = openCheckpoint(s.Checkpoint, sweepSignature(pts, s.Iterations), ctr.quarantined)
+		ck, err = openCheckpoint(s.Checkpoint, sweepSignature(pts, s.Iterations), s.CheckpointFlushEvery, ctr.quarantined)
 		if err != nil {
 			return nil, err
 		}
@@ -213,7 +225,7 @@ func (s *Suite) runPointsSharded(pts []point, observe func(i int) func(Run), sha
 		prog.Restored(restored)
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 
 	// Interrupt stops the sweep through the same cancellation the fatal
@@ -294,10 +306,20 @@ feed:
 	close(jobs)
 	wg.Wait()
 
+	// Flush on every exit path: at rest the checkpoint always holds the
+	// full completed set, whether the sweep finished, died fatally, or
+	// was interrupted — the resume contract batched saves must keep.
+	// (Workers are drained, so fatalErr needs no lock from here on.)
+	if ck != nil {
+		if err := ck.flush(); err != nil && fatalErr == nil {
+			fatalErr = err
+		}
+	}
+
 	if fatalErr != nil {
 		return nil, fatalErr
 	}
-	if intr.Load() {
+	if intr.Load() || parent.Err() != nil {
 		ctr.interrupted.Inc()
 		return nil, ErrSweepInterrupted
 	}

@@ -1,0 +1,176 @@
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"amdgpubench/internal/device"
+	"amdgpubench/internal/il"
+	"amdgpubench/internal/ilc"
+	"amdgpubench/internal/kerngen"
+	"amdgpubench/internal/raster"
+	"amdgpubench/internal/sim"
+)
+
+// persistConfig builds a small real simulate config through a pipeline's
+// own Generate/Compile stages, so the program carries a content address.
+func persistConfig(t *testing.T, p *Pipeline) sim.Config {
+	t.Helper()
+	k, err := p.Generate(GenALUFetch, kerngen.Params{
+		Mode: il.Pixel, Type: il.Float, Inputs: 4, Outputs: 1,
+		ALUFetchRatio: 1.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := device.Lookup(device.RV770)
+	prog, err := p.Compile(k, spec, ilc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim.Config{
+		Prog: prog, Spec: spec, Order: raster.PixelOrder(),
+		W: 64, H: 64, Iterations: 1,
+	}
+}
+
+func persistCount(t *testing.T, p *Pipeline, name string) int64 {
+	t.Helper()
+	return p.Metrics().Snapshot().Get("pipeline.persist." + name)
+}
+
+func TestPersistTierWriteThroughAndReload(t *testing.T) {
+	dir := t.TempDir()
+
+	// Cold pipeline: the first simulate computes and writes through.
+	p1 := New(Options{PersistDir: dir})
+	cfg1 := persistConfig(t, p1)
+	res1, err := p1.Simulate(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := persistCount(t, p1, "writes"); got != 1 {
+		t.Fatalf("persist.writes = %d, want 1", got)
+	}
+	if got := persistCount(t, p1, "misses"); got != 1 {
+		t.Fatalf("persist.misses = %d, want 1", got)
+	}
+	// A second simulate of the same config hits in MEMORY: the disk tier
+	// is below the LRU, not in front of it.
+	if _, err := p1.Simulate(cfg1); err != nil {
+		t.Fatal(err)
+	}
+	if got := persistCount(t, p1, "hits"); got != 0 {
+		t.Fatalf("persist.hits = %d after a memory hit, want 0", got)
+	}
+
+	// A fresh pipeline over the same dir — the daemon restart — serves
+	// the result from disk, bit-identical, without simulating.
+	p2 := New(Options{PersistDir: dir})
+	cfg2 := persistConfig(t, p2)
+	res2, err := p2.Simulate(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res1 {
+		t.Fatalf("disk-served result differs from computed:\n%+v\nvs\n%+v", res2, res1)
+	}
+	if got := persistCount(t, p2, "hits"); got != 1 {
+		t.Fatalf("persist.hits = %d on restart, want 1", got)
+	}
+	if got := persistCount(t, p2, "writes"); got != 0 {
+		t.Fatalf("persist.writes = %d on a tier hit, want 0 (no write-back of what is already on disk)", got)
+	}
+	if st := p2.Stats().Stage("simulate"); st.ComputeTime != 0 {
+		t.Fatalf("restart simulated for %v; the tier should have served it", st.ComputeTime)
+	}
+}
+
+func TestPersistTierCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	p1 := New(Options{PersistDir: dir})
+	cfg := persistConfig(t, p1)
+	res1, err := p1.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the one persisted entry in place.
+	var entries []string
+	err = filepath.WalkDir(filepath.Join(dir, "simulate"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			entries = append(entries, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("persisted %d entries, want 1", len(entries))
+	}
+	if err := os.WriteFile(entries[0], []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restart recomputes (the corrupt entry must not wedge or lie),
+	// counts the error, and heals the entry by writing through again.
+	p2 := New(Options{PersistDir: dir})
+	res2, err := p2.Simulate(persistConfig(t, p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2 != res1 {
+		t.Fatal("recomputed result differs")
+	}
+	if got := persistCount(t, p2, "errors"); got != 1 {
+		t.Fatalf("persist.errors = %d, want 1", got)
+	}
+	if got := persistCount(t, p2, "writes"); got != 1 {
+		t.Fatalf("persist.writes = %d, want 1 (corrupt entry healed)", got)
+	}
+
+	p3 := New(Options{PersistDir: dir})
+	if _, err := p3.Simulate(persistConfig(t, p3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := persistCount(t, p3, "hits"); got != 1 {
+		t.Fatalf("persist.hits = %d after heal, want 1", got)
+	}
+}
+
+func TestPersistTierDisabledWithCache(t *testing.T) {
+	dir := t.TempDir()
+	p := New(Options{PersistDir: dir, Disabled: true})
+	if _, err := p.Simulate(persistConfig(t, p)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "simulate")); !os.IsNotExist(err) {
+		t.Fatalf("-no-cache pipeline wrote persistent entries (stat err %v)", err)
+	}
+}
+
+func TestPersistTierKeySeparatesConfigs(t *testing.T) {
+	// Different iteration counts must land in different entries: the
+	// second config computes rather than serving the first's result.
+	dir := t.TempDir()
+	p := New(Options{PersistDir: dir})
+	cfg := persistConfig(t, p)
+	if _, err := p.Simulate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 2
+	if _, err := p.Simulate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := persistCount(t, p, "writes"); got != 2 {
+		t.Fatalf("persist.writes = %d, want 2 distinct entries", got)
+	}
+	if got := persistCount(t, p, "hits"); got != 0 {
+		t.Fatalf("persist.hits = %d, want 0 (configs must not collide)", got)
+	}
+}

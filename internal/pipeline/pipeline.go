@@ -73,6 +73,12 @@ type Options struct {
 	// histograms register into; nil gets the pipeline its own registry,
 	// so counters (and Stats) always work.
 	Metrics *obs.Registry
+	// PersistDir, when non-empty, attaches the persistent on-disk tier
+	// under the Simulate store (see persist.go): results missing in
+	// memory load from <PersistDir>/simulate before computing, and
+	// computed results write through crash-atomically. Disabled turns
+	// the tier off along with everything else.
+	PersistDir string
 }
 
 const (
@@ -150,6 +156,11 @@ func New(opts Options) *Pipeline {
 	p.replay = newStore[replayKey, cache.TraceStats]("replay", reg, opts.ReplayEntries, opts.Disabled, nil)
 	p.snapshots = newSnapshotStore(reg, opts.ReplaySnapshotEntries)
 	p.simulate = newStore[simulateKey, sim.Result]("simulate", reg, opts.SimulateEntries, opts.Disabled, nil)
+	if opts.PersistDir != "" && !opts.Disabled {
+		t := newPersistTier(opts.PersistDir, reg)
+		p.simulate.tierLoad = t.load
+		p.simulate.tierStore = t.store
+	}
 	return p
 }
 

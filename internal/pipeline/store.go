@@ -27,6 +27,14 @@ type store[K comparable, V any] struct {
 	// onEvict, when non-nil, runs (with mu held) for every evicted
 	// entry; it must not re-enter the store.
 	onEvict func(K, V)
+	// tierLoad/tierStore, when non-nil, attach a lower store level (the
+	// persistent on-disk tier): a memory miss tries tierLoad before
+	// computing, and a computed value writes through tierStore. Both run
+	// outside mu, inside the singleflight window — concurrent gets of
+	// one key do at most one disk probe. A value served by tierLoad is
+	// NOT written back through tierStore (it is already down there).
+	tierLoad  func(K) (V, bool)
+	tierStore func(K, V)
 
 	mu       sync.Mutex
 	ll       *list.List // front = most recently used
@@ -110,9 +118,18 @@ func (s *store[K, V]) get(k K, compute func() (V, error)) (V, error) {
 	s.inflight[k] = c
 	s.mu.Unlock()
 
-	start := time.Now()
-	c.val, c.err = compute()
-	s.observeCompute(time.Since(start))
+	fromTier := false
+	if s.tierLoad != nil {
+		c.val, fromTier = s.tierLoad(k)
+	}
+	if !fromTier {
+		start := time.Now()
+		c.val, c.err = compute()
+		s.observeCompute(time.Since(start))
+		if c.err == nil && s.tierStore != nil {
+			s.tierStore(k, c.val)
+		}
+	}
 	s.misses.Add(1)
 
 	s.mu.Lock()

@@ -48,6 +48,12 @@ func tortureChild() int {
 	s.Retries = 2
 	s.DeadlineCycles = 1 << 22
 	s.Checkpoint = os.Getenv(childEnvCheckpoint)
+	// Save per point: the parent observes progress through checkpoint
+	// growth, and every save is another instant for a kill to tear. The
+	// default debounce would batch 8 points per write — fewer kill
+	// windows, and the last batch can land so close to exit that the
+	// final cycle's kill misses the child entirely.
+	s.CheckpointFlushEvery = 1
 	s.BeforeLaunch = func() { time.Sleep(3 * time.Millisecond) }
 	runs, err := s.RunKernelPoints(childPoints())
 	if err != nil {
